@@ -1,0 +1,466 @@
+// Benchmarks mirroring the experiment suite E1–E10 (see DESIGN.md and
+// EXPERIMENTS.md). Each experiment has a testing.B counterpart here so
+// `go test -bench` regenerates the evaluation's raw numbers; the
+// formatted tables come from cmd/edenbench.
+package eden_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"eden"
+	"eden/internal/efs"
+	"eden/internal/ether"
+)
+
+// benchSystem builds an n-node system with the echo type registered.
+// No artificial network latency is injected here: benchmarks report
+// the implementation's own costs.
+func benchSystem(b *testing.B, n int) (*eden.System, []*eden.Node) {
+	b.Helper()
+	sys, err := eden.NewSystem(eden.SystemConfig{
+		DefaultTimeout: 30 * time.Second,
+		LocateTimeout:  2 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { sys.Close() })
+	nodes := make([]*eden.Node, n)
+	for i := range nodes {
+		nodes[i], err = sys.AddNode(fmt.Sprintf("bench-%d", i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	tm := eden.NewType("bench.echo")
+	tm.Op(eden.Operation{Name: "echo", ReadOnly: true, Handler: func(c *eden.Call) { c.Return(c.Data) }})
+	tm.Op(eden.Operation{Name: "store", Handler: func(c *eden.Call) {
+		_ = c.Self().Update(func(r *eden.Representation) error {
+			r.SetData("state", c.Data)
+			return nil
+		})
+	}})
+	if err := sys.RegisterType(tm); err != nil {
+		b.Fatal(err)
+	}
+	return sys, nodes
+}
+
+// ---- E1: invocation latency ----
+
+func benchInvoke(b *testing.B, remote bool, payload int) {
+	_, nodes := benchSystem(b, 2)
+	cap, err := nodes[0].CreateObject("bench.echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	invoker := nodes[0]
+	if remote {
+		invoker = nodes[1]
+	}
+	data := make([]byte, payload)
+	if _, err := invoker.Invoke(cap, "echo", data, nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(payload))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := invoker.Invoke(cap, "echo", data, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInvokeLocal64B(b *testing.B)   { benchInvoke(b, false, 64) }
+func BenchmarkInvokeLocal4KB(b *testing.B)   { benchInvoke(b, false, 4096) }
+func BenchmarkInvokeLocal64KB(b *testing.B)  { benchInvoke(b, false, 64*1024) }
+func BenchmarkInvokeRemote64B(b *testing.B)  { benchInvoke(b, true, 64) }
+func BenchmarkInvokeRemote4KB(b *testing.B)  { benchInvoke(b, true, 4096) }
+func BenchmarkInvokeRemote64KB(b *testing.B) { benchInvoke(b, true, 64*1024) }
+
+// ---- E2: invocation classes ----
+
+func benchClassLimit(b *testing.B, limit int) {
+	sys, nodes := benchSystem(b, 1)
+	tm := eden.NewType(fmt.Sprintf("bench.cl%d", limit))
+	if limit > 0 {
+		tm.Limit("w", limit)
+	}
+	tm.Op(eden.Operation{Name: "op", Class: "w", Handler: func(c *eden.Call) {}})
+	if err := sys.RegisterType(tm); err != nil {
+		b.Fatal(err)
+	}
+	cap, err := nodes[0].CreateObject(tm.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := nodes[0].Invoke(cap, "op", nil, nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkClassLimit1(b *testing.B)         { benchClassLimit(b, 1) }
+func BenchmarkClassLimit4(b *testing.B)         { benchClassLimit(b, 4) }
+func BenchmarkClassLimitUnlimited(b *testing.B) { benchClassLimit(b, 0) }
+
+// ---- E3: checkpoint and reincarnation ----
+
+func benchCheckpoint(b *testing.B, size int) {
+	_, nodes := benchSystem(b, 1)
+	cap, err := nodes[0].CreateObject("bench.echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := nodes[0].Invoke(cap, "store", make([]byte, size), nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	obj, err := nodes[0].Object(cap.ID())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := obj.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpoint1KB(b *testing.B)  { benchCheckpoint(b, 1<<10) }
+func BenchmarkCheckpoint64KB(b *testing.B) { benchCheckpoint(b, 64<<10) }
+func BenchmarkCheckpoint1MB(b *testing.B)  { benchCheckpoint(b, 1<<20) }
+
+func BenchmarkReincarnate(b *testing.B) {
+	_, nodes := benchSystem(b, 1)
+	cap, err := nodes[0].CreateObject("bench.echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := nodes[0].Invoke(cap, "store", make([]byte, 16<<10), nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj, err := nodes[0].Object(cap.ID())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := obj.Passivate(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := nodes[0].Invoke(cap, "echo", nil, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E4: frozen replicas ----
+
+func benchFrozenReplica(b *testing.B, replicated bool) {
+	_, nodes := benchSystem(b, 2)
+	cap, err := nodes[0].CreateObject("bench.echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj, err := nodes[0].Object(cap.ID())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := obj.Freeze(); err != nil {
+		b.Fatal(err)
+	}
+	if replicated {
+		if err := obj.Replicate(nodes[1].Num()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	opts := &eden.InvokeOptions{AllowReplica: true}
+	if _, err := nodes[1].Invoke(cap, "echo", nil, nil, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nodes[1].Invoke(cap, "echo", nil, nil, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrozenReadRemoteHome(b *testing.B)   { benchFrozenReplica(b, false) }
+func BenchmarkFrozenReadLocalReplica(b *testing.B) { benchFrozenReplica(b, true) }
+
+// ---- E5: mobility ----
+
+func BenchmarkMove64KB(b *testing.B) {
+	_, nodes := benchSystem(b, 2)
+	cap, err := nodes[0].CreateObject("bench.echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := nodes[0].Invoke(cap, "store", make([]byte, 64<<10), nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := nodes[i%2]
+		to := nodes[(i+1)%2]
+		obj, err := from.Object(cap.ID())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := <-obj.Move(to.Num()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E6: Ethernet simulator ----
+
+func benchEthernet(b *testing.B, load float64) {
+	cfg := ether.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts, err := ether.SweepLoad(cfg, 16, 8000, []float64{load}, 500*time.Millisecond, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pts[0].Utilization < 0 {
+			b.Fatal("impossible utilization")
+		}
+	}
+}
+
+func BenchmarkEthernetLoad50(b *testing.B)  { benchEthernet(b, 0.5) }
+func BenchmarkEthernetLoad150(b *testing.B) { benchEthernet(b, 1.5) }
+
+// ---- E7: location ----
+
+func BenchmarkLocateCold(b *testing.B) {
+	_, nodes := benchSystem(b, 3)
+	caps := make([]eden.Capability, b.N)
+	var err error
+	for i := range caps {
+		caps[i], err = nodes[0].CreateObject("bench.echo")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nodes[2].Invoke(caps[i], "echo", nil, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocateWarm(b *testing.B) {
+	_, nodes := benchSystem(b, 3)
+	cap, err := nodes[0].CreateObject("bench.echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := nodes[2].Invoke(cap, "echo", nil, nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nodes[2].Invoke(cap, "echo", nil, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E8: recovery ----
+
+func BenchmarkRecoveryFromChecksite(b *testing.B) {
+	// Each iteration: crash a home node and recover its object at the
+	// checksite via one invocation. Heavyweight by nature.
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys, nodes := benchSystem(b, 3)
+		cap, err := nodes[0].CreateObject("bench.echo")
+		if err != nil {
+			b.Fatal(err)
+		}
+		obj, err := nodes[0].Object(cap.ID())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := obj.SetChecksite(eden.RelRemote, nodes[1].Num()); err != nil {
+			b.Fatal(err)
+		}
+		if err := obj.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+		nodes[0].Crash()
+		b.StartTimer()
+		if _, err := nodes[2].Invoke(cap, "echo", nil, nil, &eden.InvokeOptions{Timeout: 10 * time.Second}); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		sys.Close()
+		b.StartTimer()
+	}
+}
+
+// ---- E9: EFS ----
+
+func benchEFSCommit(b *testing.B, mode efs.CCMode) {
+	_, nodes := benchSystem(b, 1)
+	client := nodes[0].EFS(mode)
+	f, err := client.CreateFile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := client.Begin()
+		if err := tx.Write(f, uint64(i), payload); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEFSCommitLocking(b *testing.B)    { benchEFSCommit(b, efs.Locking) }
+func BenchmarkEFSCommitOptimistic(b *testing.B) { benchEFSCommit(b, efs.Optimistic) }
+
+func BenchmarkEFSContendedHotFile(b *testing.B) {
+	_, nodes := benchSystem(b, 1)
+	client := nodes[0].EFS(efs.Optimistic)
+	f, err := client.CreateFile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mu sync.Mutex // meter only; contention is inside EFS
+	committed := 0
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			for {
+				tx := client.Begin()
+				_, ver, err := tx.Read(f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Write(f, ver, []byte("x")); err != nil {
+					tx.Abort()
+					continue
+				}
+				if err := tx.Commit(); err != nil {
+					continue
+				}
+				break
+			}
+			mu.Lock()
+			committed++
+			mu.Unlock()
+		}
+	})
+	if committed != b.N {
+		b.Fatalf("committed %d of %d", committed, b.N)
+	}
+}
+
+// ---- E10: dispatch depth ----
+
+func benchDispatchDepth(b *testing.B, depth int) {
+	sys, nodes := benchSystem(b, 1)
+	root := eden.NewType("bench.d0")
+	root.Op(eden.Operation{Name: "op", ReadOnly: true, Handler: func(c *eden.Call) {}})
+	if err := sys.RegisterType(root); err != nil {
+		b.Fatal(err)
+	}
+	for d := 1; d <= depth; d++ {
+		sub := eden.NewType(fmt.Sprintf("bench.d%d", d))
+		sub.Extends = fmt.Sprintf("bench.d%d", d-1)
+		if err := sys.RegisterType(sub); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cap, err := nodes[0].CreateObject(fmt.Sprintf("bench.d%d", depth))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nodes[0].Invoke(cap, "op", nil, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDispatchDepth0(b *testing.B) { benchDispatchDepth(b, 0) }
+func BenchmarkDispatchDepth4(b *testing.B) { benchDispatchDepth(b, 4) }
+func BenchmarkDispatchDepth8(b *testing.B) { benchDispatchDepth(b, 8) }
+
+// ---- E11: single-level memory ----
+
+func benchPagedInvoke(b *testing.B, budgetFraction float64) {
+	const objects, objectSize = 8, 8 << 10
+	sys, err := eden.NewSystem(eden.SystemConfig{DefaultTimeout: 30 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { sys.Close() })
+	node, err := sys.AddNodeWithConfig("paging", eden.NodeConfig{
+		MemoryBytes:     int64(budgetFraction * objects * objectSize),
+		EvictOnPressure: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm := eden.NewType("bench.page")
+	tm.Op(eden.Operation{Name: "echo", ReadOnly: true, Handler: func(c *eden.Call) {}})
+	tm.Op(eden.Operation{Name: "store", Handler: func(c *eden.Call) {
+		_ = c.Self().Update(func(r *eden.Representation) error {
+			r.SetData("state", c.Data)
+			return nil
+		})
+	}})
+	if err := sys.RegisterType(tm); err != nil {
+		b.Fatal(err)
+	}
+	caps := make([]eden.Capability, objects)
+	for i := range caps {
+		caps[i], err = node.CreateObject("bench.page")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := node.Invoke(caps[i], "store", make([]byte, objectSize), nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := node.Invoke(caps[i%objects], "echo", nil, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInvokeResident(b *testing.B)  { benchPagedInvoke(b, 2.0) }
+func BenchmarkInvokePagedHalf(b *testing.B) { benchPagedInvoke(b, 0.5) }

@@ -1,0 +1,86 @@
+// Command edenbench runs the Eden reproduction's experiment suite
+// (E1–E10 of DESIGN.md) and prints one table per experiment. These
+// tables are the repository's synthetic evaluation: the source paper
+// is a design paper with no measurements, so each experiment states
+// the architecture's qualitative prediction and checks the
+// implementation exhibits that shape.
+//
+// Usage:
+//
+//	edenbench             # full suite
+//	edenbench -exp E6     # one experiment
+//	edenbench -list       # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"eden/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment by id (E1..E10)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-4s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		t, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		t.Fprint(os.Stdout)
+		fmt.Printf("  [%s took %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp != "" {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		run(e)
+		if e.ID == "E6" {
+			// The station and frame-size sweeps are E6's companion
+			// tables.
+			for _, run := range []func() (*experiments.Table, error){
+				experiments.RunE6Stations, experiments.RunE6Sizes,
+			} {
+				t, err := run()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "E6 companion failed: %v\n", err)
+					os.Exit(1)
+				}
+				t.Fprint(os.Stdout)
+			}
+		}
+		return
+	}
+	for _, e := range experiments.All() {
+		run(e)
+		if e.ID == "E6" {
+			for _, run := range []func() (*experiments.Table, error){
+				experiments.RunE6Stations, experiments.RunE6Sizes,
+			} {
+				t, err := run()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "E6 companion failed: %v\n", err)
+					os.Exit(1)
+				}
+				t.Fprint(os.Stdout)
+				fmt.Println()
+			}
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Command edennode runs one Eden node as a standalone process over
+// TCP, so a real multi-machine (or multi-process) Eden system can be
+// assembled — the deployment shape of the paper's five-node prototype.
+//
+// Each node is told its number, listen address, and peers. A small
+// line-oriented console on stdin drives it: create objects, invoke
+// operations (on objects anywhere in the system), checkpoint, move,
+// inspect. Capabilities print as hex tokens that can be pasted into
+// another node's console — exactly the "pass a capability around"
+// workflow of Eden.
+//
+// Example (three shells):
+//
+//	edennode -node 1 -listen 127.0.0.1:7001 -peers 2=127.0.0.1:7002,3=127.0.0.1:7003
+//	edennode -node 2 -listen 127.0.0.1:7002 -peers 1=127.0.0.1:7001,3=127.0.0.1:7003
+//	edennode -node 3 -listen 127.0.0.1:7003 -peers 1=127.0.0.1:7001,2=127.0.0.1:7002
+//
+//	node-1> create counter
+//	cap 0000000100000000...
+//	node-2> invoke 0000000100000000... inc
+//	ok (1 bytes): 01
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"eden/internal/capability"
+	"eden/internal/editor"
+	"eden/internal/efs"
+	"eden/internal/kernel"
+	"eden/internal/naming"
+	"eden/internal/segment"
+	"eden/internal/store"
+	"eden/internal/transport"
+)
+
+func main() {
+	node := flag.Uint("node", 1, "node number (unique in the system)")
+	listen := flag.String("listen", "127.0.0.1:7001", "listen address")
+	peers := flag.String("peers", "", "comma-separated peer list: num=host:port,...")
+	storeDir := flag.String("store", "", "directory for file-backed long-term storage (default: in-memory)")
+	name := flag.String("name", "", "node label (default: node-<num>)")
+	flag.Parse()
+
+	if *name == "" {
+		*name = fmt.Sprintf("node-%d", *node)
+	}
+	tr, err := transport.NewTCP(uint32(*node), *listen)
+	if err != nil {
+		fatal("listen: %v", err)
+	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			numAddr := strings.SplitN(strings.TrimSpace(p), "=", 2)
+			if len(numAddr) != 2 {
+				fatal("bad peer %q (want num=host:port)", p)
+			}
+			n, err := strconv.ParseUint(numAddr[0], 10, 32)
+			if err != nil {
+				fatal("bad peer number %q: %v", numAddr[0], err)
+			}
+			tr.AddPeer(uint32(n), numAddr[1])
+		}
+	}
+
+	var st store.Store
+	if *storeDir != "" {
+		st, err = store.NewFile(*storeDir)
+		if err != nil {
+			fatal("store: %v", err)
+		}
+	}
+
+	reg := kernel.NewRegistry()
+	if err := naming.RegisterType(reg); err != nil {
+		fatal("%v", err)
+	}
+	if err := efs.RegisterType(reg); err != nil {
+		fatal("%v", err)
+	}
+	if err := editor.RegisterBaseType(reg); err != nil {
+		fatal("%v", err)
+	}
+	if err := reg.Register(counterType()); err != nil {
+		fatal("%v", err)
+	}
+	k := kernel.New(kernel.DefaultConfig(uint32(*node), *name), tr, reg, st)
+	defer k.Close()
+
+	fmt.Printf("%s listening on %s; peers: %v\n", *name, tr.Addr(), tr.Peers())
+	fmt.Println(`commands: create <type> | invoke <cap> <op> [hexdata] | types | ls |
+          checkpoint <cap> | move <cap> <node> | stats | describe <cap> |
+          show <cap> | quit`)
+	console(k)
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+// counterType gives every node a demo type to play with. It extends
+// the editor's displayable base type, inheriting the default "display"
+// operation the console's show command invokes.
+func counterType() *kernel.TypeManager {
+	tm := kernel.NewType("counter")
+	tm.Extends = editor.BaseTypeName
+	tm.Init = func(o *kernel.Object) error {
+		return o.Update(func(r *segment.Representation) error {
+			r.SetData("n", make([]byte, 8))
+			return nil
+		})
+	}
+	tm.Limit("write", 1)
+	tm.Op(kernel.Operation{
+		Name:  "inc",
+		Class: "write",
+		Handler: func(c *kernel.Call) {
+			var out [8]byte
+			_ = c.Self().Update(func(r *segment.Representation) error {
+				b, _ := r.Data("n")
+				binary.BigEndian.PutUint64(out[:], binary.BigEndian.Uint64(b)+1)
+				r.SetData("n", out[:])
+				return nil
+			})
+			c.Return(out[:])
+		},
+	})
+	tm.Op(kernel.Operation{
+		Name:     "get",
+		ReadOnly: true,
+		Handler: func(c *kernel.Call) {
+			c.Self().View(func(r *segment.Representation) {
+				b, _ := r.Data("n")
+				c.Return(b)
+			})
+		},
+	})
+	return tm
+}
+
+// console runs the operator REPL.
+func console(k *kernel.Kernel) {
+	sc := bufio.NewScanner(os.Stdin)
+	prompt := func() { fmt.Printf("%s> ", k.Name()) }
+	for prompt(); sc.Scan(); prompt() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "types":
+			for _, n := range k.Types().Names() {
+				fmt.Println(" ", n)
+			}
+		case "ls":
+			for _, id := range k.ActiveObjects() {
+				fmt.Println(" ", id)
+			}
+		case "stats":
+			fmt.Printf("  %+v\n", k.Stats())
+			fmt.Printf("  locator: %+v\n", k.Locator().Stats())
+		case "create":
+			if len(fields) != 2 {
+				fmt.Println("  usage: create <type>")
+				continue
+			}
+			cap, err := k.Create(fields[1], nil)
+			if err != nil {
+				fmt.Println(" ", err)
+				continue
+			}
+			fmt.Printf("  cap %s\n", hex.EncodeToString(cap.Encode(nil)))
+		case "invoke":
+			if len(fields) < 3 {
+				fmt.Println("  usage: invoke <cap> <op> [hexdata]")
+				continue
+			}
+			cap, err := parseCap(fields[1])
+			if err != nil {
+				fmt.Println(" ", err)
+				continue
+			}
+			var data []byte
+			if len(fields) > 3 {
+				data, err = hex.DecodeString(fields[3])
+				if err != nil {
+					fmt.Println("  bad hex data:", err)
+					continue
+				}
+			}
+			rep, err := k.Invoke(cap, fields[2], data, nil, nil)
+			if err != nil {
+				fmt.Println(" ", err)
+				continue
+			}
+			fmt.Printf("  ok (%d bytes): %s\n", len(rep.Data), hex.EncodeToString(rep.Data))
+			for _, c := range rep.Caps {
+				fmt.Printf("  cap %s\n", hex.EncodeToString(c.Encode(nil)))
+			}
+		case "checkpoint":
+			if len(fields) != 2 {
+				fmt.Println("  usage: checkpoint <cap>")
+				continue
+			}
+			withObject(k, fields[1], func(o *kernel.Object) {
+				if err := o.Checkpoint(); err != nil {
+					fmt.Println(" ", err)
+				} else {
+					fmt.Printf("  checkpointed at version %d\n", o.Version())
+				}
+			})
+		case "move":
+			if len(fields) != 3 {
+				fmt.Println("  usage: move <cap> <node>")
+				continue
+			}
+			dest, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				fmt.Println("  bad node number:", err)
+				continue
+			}
+			withObject(k, fields[1], func(o *kernel.Object) {
+				if err := <-o.Move(uint32(dest)); err != nil {
+					fmt.Println(" ", err)
+				} else {
+					fmt.Printf("  moved to node %d\n", dest)
+				}
+			})
+		case "show":
+			if len(fields) != 2 {
+				fmt.Println("  usage: show <cap>")
+				continue
+			}
+			cap, err := parseCap(fields[1])
+			if err != nil {
+				fmt.Println(" ", err)
+				continue
+			}
+			for _, line := range strings.Split(editor.Render(k, cap), "\n") {
+				fmt.Println("  " + line)
+			}
+		case "describe":
+			if len(fields) != 2 {
+				fmt.Println("  usage: describe <cap>")
+				continue
+			}
+			withObject(k, fields[1], func(o *kernel.Object) {
+				a := o.Describe()
+				fmt.Printf("  name %v type %q version %d frozen %v\n", a.Name, a.TypeName, a.Version, a.Frozen)
+				for _, s := range a.Segments {
+					fmt.Printf("    segment %-20q %-5s %d\n", s.Name, s.Kind, s.Len)
+				}
+			})
+		default:
+			fmt.Println("  unknown command:", fields[0])
+		}
+	}
+}
+
+func parseCap(s string) (capability.Capability, error) {
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return capability.Capability{}, fmt.Errorf("bad capability hex: %v", err)
+	}
+	cap, rest, err := capability.Decode(raw)
+	if err != nil || len(rest) != 0 {
+		return capability.Capability{}, fmt.Errorf("bad capability: %v", err)
+	}
+	return cap, nil
+}
+
+func withObject(k *kernel.Kernel, capHex string, fn func(o *kernel.Object)) {
+	cap, err := parseCap(capHex)
+	if err != nil {
+		fmt.Println(" ", err)
+		return
+	}
+	o, err := k.Object(cap.ID())
+	if err != nil {
+		fmt.Println(" ", err)
+		return
+	}
+	fn(o)
+}

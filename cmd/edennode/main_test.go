@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMultiProcessSystem builds the edennode binary and assembles a
+// real two-process Eden system over TCP loopback, driving both
+// consoles: node 2 creates a counter, node 1 invokes it remotely, and
+// the console's editor view renders it. This is the paper's
+// deployment shape exercised end to end through the shipped binary.
+func TestMultiProcessSystem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and spawns subprocesses")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available")
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "edennode")
+	build := exec.Command(goTool, "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	// Reserve two loopback ports.
+	addr1, addr2 := freePort(t), freePort(t)
+
+	n1 := startNode(t, bin, 1, addr1, fmt.Sprintf("2=%s", addr2))
+	n2 := startNode(t, bin, 2, addr2, fmt.Sprintf("1=%s", addr1))
+
+	// Node 2 creates a counter; its console prints the capability.
+	n2.send("create counter")
+	capHex := n2.expect(t, regexp.MustCompile(`cap ([0-9a-f]+)`), 5*time.Second)
+
+	// Node 1 invokes it twice across the wire.
+	n1.send("invoke " + capHex + " inc")
+	n1.expect(t, regexp.MustCompile(`ok \(8 bytes\): 0000000000000001`), 5*time.Second)
+	n1.send("invoke " + capHex + " inc")
+	n1.expect(t, regexp.MustCompile(`ok \(8 bytes\): 0000000000000002`), 5*time.Second)
+
+	// The editor view renders the remote object from node 1.
+	n1.send("show " + capHex)
+	n1.expect(t, regexp.MustCompile(`type counter`), 5*time.Second)
+
+	// Move the counter from node 2 to node 1, then read it locally.
+	n2.send("move " + capHex + " 1")
+	n2.expect(t, regexp.MustCompile(`moved to node 1`), 5*time.Second)
+	n1.send("invoke " + capHex + " get")
+	n1.expect(t, regexp.MustCompile(`ok \(8 bytes\): 0000000000000002`), 5*time.Second)
+
+	n1.send("quit")
+	n2.send("quit")
+	n1.wait(t)
+	n2.wait(t)
+}
+
+// nodeProc wraps one running edennode process and its console pipes.
+type nodeProc struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+
+	mu  sync.Mutex
+	out strings.Builder
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func startNode(t *testing.T, bin string, num int, listen, peers string) *nodeProc {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-node", fmt.Sprint(num),
+		"-listen", listen,
+		"-peers", peers,
+	)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	np := &nodeProc{cmd: cmd, stdin: stdin}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = stdin.Close()
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			np.mu.Lock()
+			np.out.WriteString(sc.Text())
+			np.out.WriteString("\n")
+			np.mu.Unlock()
+		}
+	}()
+	return np
+}
+
+func (n *nodeProc) send(line string) {
+	_, _ = io.WriteString(n.stdin, line+"\n")
+}
+
+// expect polls the accumulated console output for the pattern and
+// returns its first capture group (or full match).
+func (n *nodeProc) expect(t *testing.T, re *regexp.Regexp, timeout time.Duration) string {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		n.mu.Lock()
+		out := n.out.String()
+		n.mu.Unlock()
+		if m := re.FindStringSubmatch(out); m != nil {
+			if len(m) > 1 {
+				return m[1]
+			}
+			return m[0]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("console never matched %v; output so far:\n%s", re, out)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func (n *nodeProc) wait(t *testing.T) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- n.cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Error("edennode did not exit after quit")
+		_ = n.cmd.Process.Kill()
+	}
+}

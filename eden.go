@@ -1,0 +1,145 @@
+// Package eden is a Go reproduction of the Eden system described in
+// "The Architecture of the Eden System" (Lazowska, Levy, Almes,
+// Fischer, Fowler, Vestal — SOSP 1981): an "integrated distributed"
+// object system in which every program and resource is an object with
+// a unique name, a representation, a type, and some number of
+// invocations, addressed location-independently through capabilities.
+//
+// The package is a facade over the kernel and its substrates
+// (internal/kernel, internal/locator, internal/transport,
+// internal/store, internal/efs, internal/naming): it assembles
+// multi-node systems in one process, registers type managers, and
+// exposes the kernel primitives — object creation, location-independent
+// invocation, checkpoint/checksite/crash, freeze/replicate, move — plus
+// the user-level directory service and the Eden File System.
+//
+// A minimal session:
+//
+//	sys, _ := eden.NewSystem(eden.SystemConfig{})
+//	defer sys.Close()
+//	a, _ := sys.AddNode("office-a")
+//	b, _ := sys.AddNode("office-b")
+//
+//	counter := eden.NewType("counter")
+//	counter.Op(eden.Operation{Name: "inc", Handler: func(c *eden.Call) { ... }})
+//	sys.RegisterType(counter)
+//
+//	cap, _ := a.CreateObject("counter")
+//	reply, _ := b.Invoke(cap, "inc", nil, nil, nil) // located transparently
+package eden
+
+import (
+	"eden/internal/capability"
+	"eden/internal/edenid"
+	"eden/internal/kernel"
+	"eden/internal/rights"
+	"eden/internal/segment"
+)
+
+// Re-exported core types. The public vocabulary of Eden is small:
+// capabilities designate objects; type managers define operations;
+// Call is the handler's view of one invocation.
+type (
+	// Capability pairs an object's unique name with access rights; it
+	// is the only way to designate an object.
+	Capability = capability.Capability
+	// CapabilityList is an ordered collection of capabilities, as
+	// passed in invocation parameters and stored in capability
+	// segments.
+	CapabilityList = capability.List
+	// Rights is the access-rights bit-set carried by a capability.
+	Rights = rights.Set
+	// ID is an object's system-wide unique-for-all-time name.
+	ID = edenid.ID
+	// TypeManager defines a type: its operations, invocation classes
+	// and lifecycle hooks.
+	TypeManager = kernel.TypeManager
+	// Operation describes one operation of a type.
+	Operation = kernel.Operation
+	// Call is the context an operation handler receives.
+	Call = kernel.Call
+	// Handler is the body of an operation.
+	Handler = kernel.Handler
+	// Object is an active object's kernel handle, available to type
+	// implementations (handlers receive it via Call.Self).
+	Object = kernel.Object
+	// Reply is an invocation's results.
+	Reply = kernel.Reply
+	// InvokeOptions tunes one invocation (timeout, replica use).
+	InvokeOptions = kernel.InvokeOptions
+	// Pending is an asynchronous invocation in flight.
+	Pending = kernel.Pending
+	// Representation is an object's long-term state: named data and
+	// capability segments.
+	Representation = segment.Representation
+	// Reliability selects a checkpoint placement policy level.
+	Reliability = kernel.Reliability
+	// Semaphore is the kernel-supplied intra-object counting
+	// semaphore.
+	Semaphore = kernel.Semaphore
+	// Port is the kernel-supplied intra-object message port.
+	Port = kernel.Port
+)
+
+// Kernel-defined rights, re-exported.
+const (
+	// RightInvoke permits invoking operations at all.
+	RightInvoke = rights.Invoke
+	// RightCheckpoint permits checkpoint and checksite control.
+	RightCheckpoint = rights.Checkpoint
+	// RightMove permits relocating the object.
+	RightMove = rights.Move
+	// RightFreeze permits freezing the representation.
+	RightFreeze = rights.Freeze
+	// RightDestroy permits crashing and deleting the object.
+	RightDestroy = rights.Destroy
+	// RightGrant permits deriving further capabilities.
+	RightGrant = rights.Grant
+	// AllRights is every kernel- and type-defined right.
+	AllRights = rights.All
+)
+
+// Checkpoint reliability levels, re-exported.
+const (
+	// RelLocal keeps checkpoints in the home node's store only.
+	RelLocal = kernel.RelLocal
+	// RelRemote keeps checkpoints at a designated remote checksite.
+	RelRemote = kernel.RelRemote
+	// RelReplicated keeps checkpoints locally and at every designated
+	// remote site.
+	RelReplicated = kernel.RelReplicated
+)
+
+// TypeRight returns the i'th type-defined right (0 ≤ i < 16), whose
+// meaning is chosen by each type manager.
+func TypeRight(i int) Rights { return rights.Type(i) }
+
+// NewType returns an empty type manager with the given name; populate
+// it with Op and Limit, then register it with System.RegisterType.
+func NewType(name string) *TypeManager { return kernel.NewType(name) }
+
+// Errors re-exported from the kernel, so user code can errors.Is
+// against the public package.
+var (
+	// ErrNoSuchObject reports an invocation of an object no node
+	// hosts.
+	ErrNoSuchObject = kernel.ErrNoSuchObject
+	// ErrNoSuchType reports an unregistered type name.
+	ErrNoSuchType = kernel.ErrNoSuchType
+	// ErrNoSuchOperation reports an operation the type does not
+	// define.
+	ErrNoSuchOperation = kernel.ErrNoSuchOperation
+	// ErrRights reports a capability with insufficient rights.
+	ErrRights = kernel.ErrRights
+	// ErrTimeout reports an expired invocation time limit.
+	ErrTimeout = kernel.ErrTimeout
+	// ErrCrashed reports a target that crashed mid-invocation.
+	ErrCrashed = kernel.ErrCrashed
+	// ErrFrozen reports a mutation of a frozen representation.
+	ErrFrozen = kernel.ErrFrozen
+	// ErrMoving reports an operation rejected because the object is
+	// mid-move.
+	ErrMoving = kernel.ErrMoving
+	// ErrInvocationFailed wraps application-level handler failures.
+	ErrInvocationFailed = kernel.ErrInvocationFailed
+)

@@ -1,0 +1,164 @@
+// Package capability implements Eden capabilities: the pairing of an
+// object's unique name with a set of access rights.
+//
+// "Eden objects refer to one another by means of capabilities, which
+// contain both unique names and access rights." Capabilities are plain
+// values: they can be stored in capability segments, passed as
+// invocation parameters, and restricted — but rights can never be
+// amplified, only narrowed, which the API enforces by construction.
+package capability
+
+import (
+	"errors"
+	"fmt"
+
+	"eden/internal/edenid"
+	"eden/internal/rights"
+)
+
+// EncodedSize is the wire size of one capability.
+const EncodedSize = edenid.Size + 4
+
+// ErrBadCapability reports a malformed encoded capability.
+var ErrBadCapability = errors.New("capability: malformed capability")
+
+// Capability names an object and carries the rights its holder may
+// exercise over it. The zero Capability is the null capability: it
+// names no object and confers nothing.
+type Capability struct {
+	id edenid.ID
+	rt rights.Set
+}
+
+// New returns a capability for the object named id carrying the given
+// rights. This is the *fabrication* entry point: only the kernel (at
+// object creation) and holders of Grant (via Restrict/WithRights on an
+// existing capability) should mint capabilities; user code receives
+// them from those paths.
+func New(id edenid.ID, rt rights.Set) Capability {
+	return Capability{id: id, rt: rt}
+}
+
+// ID returns the unique name of the object the capability designates.
+func (c Capability) ID() edenid.ID { return c.id }
+
+// Rights returns the rights the capability carries.
+func (c Capability) Rights() rights.Set { return c.rt }
+
+// IsNull reports whether c is the null capability.
+func (c Capability) IsNull() bool { return c.id.IsNil() }
+
+// Has reports whether the capability carries every right in want.
+func (c Capability) Has(want rights.Set) bool { return c.rt.Has(want) }
+
+// Restrict returns a capability for the same object whose rights are
+// those of c intersected with mask. Because the result's rights are
+// always a subset of c's, restriction can be exposed to all holders
+// without enabling amplification.
+func (c Capability) Restrict(mask rights.Set) Capability {
+	return Capability{id: c.id, rt: c.rt.Restrict(mask)}
+}
+
+// Same reports whether two capabilities designate the same object,
+// regardless of rights.
+func (c Capability) Same(d Capability) bool { return c.id == d.id }
+
+// String renders the capability as "id[rights]".
+func (c Capability) String() string {
+	if c.IsNull() {
+		return "null-cap"
+	}
+	return fmt.Sprintf("%v[%v]", c.id, c.rt)
+}
+
+// Encode appends the wire form of the capability to dst.
+func (c Capability) Encode(dst []byte) []byte {
+	dst = c.id.Encode(dst)
+	return append(dst,
+		byte(c.rt>>24), byte(c.rt>>16), byte(c.rt>>8), byte(c.rt))
+}
+
+// Decode reads one capability from the front of src, returning it and
+// the remaining bytes.
+func Decode(src []byte) (Capability, []byte, error) {
+	id, rest, err := edenid.Decode(src)
+	if err != nil {
+		return Capability{}, src, fmt.Errorf("%w: %v", ErrBadCapability, err)
+	}
+	if len(rest) < 4 {
+		return Capability{}, src, fmt.Errorf("%w: truncated rights", ErrBadCapability)
+	}
+	rt := rights.Set(rest[0])<<24 | rights.Set(rest[1])<<16 |
+		rights.Set(rest[2])<<8 | rights.Set(rest[3])
+	return Capability{id: id, rt: rt}, rest[4:], nil
+}
+
+// List is an ordered collection of capabilities — the content of a
+// capability segment. A nil List is an empty list ready to use.
+type List []Capability
+
+// EncodeList appends the wire form of the list (a 32-bit count followed
+// by each capability) to dst.
+func EncodeList(dst []byte, l List) []byte {
+	n := len(l)
+	dst = append(dst, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	for _, c := range l {
+		dst = c.Encode(dst)
+	}
+	return dst
+}
+
+// DecodeList reads a capability list from the front of src.
+func DecodeList(src []byte) (List, []byte, error) {
+	if len(src) < 4 {
+		return nil, src, fmt.Errorf("%w: truncated list header", ErrBadCapability)
+	}
+	n := int(src[0])<<24 | int(src[1])<<16 | int(src[2])<<8 | int(src[3])
+	rest := src[4:]
+	if n < 0 || n > len(rest)/EncodedSize {
+		return nil, src, fmt.Errorf("%w: implausible list length %d", ErrBadCapability, n)
+	}
+	l := make(List, 0, n)
+	for i := 0; i < n; i++ {
+		var c Capability
+		var err error
+		c, rest, err = Decode(rest)
+		if err != nil {
+			return nil, src, fmt.Errorf("capability %d: %w", i, err)
+		}
+		l = append(l, c)
+	}
+	return l, rest, nil
+}
+
+// Clone returns an independent copy of the list.
+func (l List) Clone() List {
+	if l == nil {
+		return nil
+	}
+	out := make(List, len(l))
+	copy(out, l)
+	return out
+}
+
+// Find returns the index of the first capability in l that designates
+// the object named id, or -1 if none does.
+func (l List) Find(id edenid.ID) int {
+	for i, c := range l {
+		if c.ID() == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// RestrictAll returns a copy of the list with every capability's rights
+// intersected with mask. It is used when shipping a capability segment
+// across a trust boundary.
+func (l List) RestrictAll(mask rights.Set) List {
+	out := make(List, len(l))
+	for i, c := range l {
+		out[i] = c.Restrict(mask)
+	}
+	return out
+}

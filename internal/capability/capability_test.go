@@ -1,0 +1,222 @@
+package capability
+
+import (
+	"testing"
+	"testing/quick"
+
+	"eden/internal/edenid"
+	"eden/internal/rights"
+)
+
+var gen = edenid.NewGenerator(1)
+
+func TestNewAccessors(t *testing.T) {
+	id := gen.Next()
+	c := New(id, rights.Invoke|rights.Grant)
+	if c.ID() != id {
+		t.Errorf("ID() = %v, want %v", c.ID(), id)
+	}
+	if c.Rights() != rights.Invoke|rights.Grant {
+		t.Errorf("Rights() = %v", c.Rights())
+	}
+	if c.IsNull() {
+		t.Error("real capability reports IsNull")
+	}
+}
+
+func TestNullCapability(t *testing.T) {
+	var c Capability
+	if !c.IsNull() {
+		t.Error("zero Capability is not null")
+	}
+	if c.String() != "null-cap" {
+		t.Errorf("String() = %q", c.String())
+	}
+	if c.Has(rights.Invoke) {
+		t.Error("null capability claims rights")
+	}
+}
+
+func TestRestrictNarrowsOnly(t *testing.T) {
+	id := gen.Next()
+	f := func(have, mask uint32) bool {
+		c := New(id, rights.Set(have))
+		r := c.Restrict(rights.Set(mask))
+		return r.ID() == c.ID() && r.Rights().IsSubsetOf(c.Rights())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameIgnoresRights(t *testing.T) {
+	id := gen.Next()
+	a := New(id, rights.All)
+	b := New(id, rights.Invoke)
+	if !a.Same(b) {
+		t.Error("Same = false for same object, different rights")
+	}
+	c := New(gen.Next(), rights.All)
+	if a.Same(c) {
+		t.Error("Same = true for different objects")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := New(gen.Next(), rights.Invoke|rights.Move|rights.Type(7))
+	buf := c.Encode(nil)
+	if len(buf) != EncodedSize {
+		t.Fatalf("encoded size = %d, want %d", len(buf), EncodedSize)
+	}
+	got, rest, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got != c {
+		t.Errorf("round trip changed capability: %v -> %v", c, got)
+	}
+	if len(rest) != 0 {
+		t.Errorf("%d residual bytes", len(rest))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("Decode(nil) succeeded")
+	}
+	c := New(gen.Next(), rights.Invoke)
+	short := c.Encode(nil)[:EncodedSize-2]
+	if _, _, err := Decode(short); err == nil {
+		t.Error("Decode of truncated rights succeeded")
+	}
+	bad := c.Encode(nil)
+	bad[3] ^= 0xFF // corrupt the ID
+	if _, _, err := Decode(bad); err == nil {
+		t.Error("Decode of corrupted ID succeeded")
+	}
+}
+
+func TestListRoundTrip(t *testing.T) {
+	l := List{
+		New(gen.Next(), rights.All),
+		New(gen.Next(), rights.Invoke),
+		New(gen.Next(), rights.None),
+	}
+	buf := EncodeList(nil, l)
+	got, rest, err := DecodeList(buf)
+	if err != nil {
+		t.Fatalf("DecodeList: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("%d residual bytes", len(rest))
+	}
+	if len(got) != len(l) {
+		t.Fatalf("len = %d, want %d", len(got), len(l))
+	}
+	for i := range l {
+		if got[i] != l[i] {
+			t.Errorf("element %d: %v != %v", i, got[i], l[i])
+		}
+	}
+}
+
+func TestEmptyListRoundTrip(t *testing.T) {
+	buf := EncodeList(nil, nil)
+	got, _, err := DecodeList(buf)
+	if err != nil {
+		t.Fatalf("DecodeList: %v", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("decoded %d elements from empty list", len(got))
+	}
+}
+
+func TestDecodeListRejectsImplausibleLength(t *testing.T) {
+	// Header claims 1000 capabilities but carries none.
+	buf := []byte{0, 0, 3, 0xE8}
+	if _, _, err := DecodeList(buf); err == nil {
+		t.Error("DecodeList accepted implausible length")
+	}
+	if _, _, err := DecodeList([]byte{0, 0}); err == nil {
+		t.Error("DecodeList accepted truncated header")
+	}
+}
+
+func TestListFind(t *testing.T) {
+	a, b := gen.Next(), gen.Next()
+	l := List{New(a, rights.All), New(b, rights.Invoke)}
+	if i := l.Find(b); i != 1 {
+		t.Errorf("Find = %d, want 1", i)
+	}
+	if i := l.Find(gen.Next()); i != -1 {
+		t.Errorf("Find of absent = %d, want -1", i)
+	}
+	if i := List(nil).Find(a); i != -1 {
+		t.Errorf("Find on nil list = %d, want -1", i)
+	}
+}
+
+func TestListClone(t *testing.T) {
+	l := List{New(gen.Next(), rights.All)}
+	c := l.Clone()
+	c[0] = New(gen.Next(), rights.None)
+	if l[0] == c[0] {
+		t.Error("Clone shares backing storage")
+	}
+	if List(nil).Clone() != nil {
+		t.Error("Clone(nil) != nil")
+	}
+}
+
+func TestRestrictAll(t *testing.T) {
+	l := List{
+		New(gen.Next(), rights.All),
+		New(gen.Next(), rights.Invoke|rights.Grant),
+	}
+	r := l.RestrictAll(rights.Invoke)
+	for i, c := range r {
+		if c.Rights() != rights.Invoke&l[i].Rights() {
+			t.Errorf("element %d rights = %v", i, c.Rights())
+		}
+		if !c.Same(l[i]) {
+			t.Errorf("element %d changed identity", i)
+		}
+	}
+}
+
+// Property: list encode→decode is the identity.
+func TestQuickListRoundTrip(t *testing.T) {
+	f := func(rts []uint32) bool {
+		if len(rts) > 64 {
+			rts = rts[:64]
+		}
+		l := make(List, len(rts))
+		for i, r := range rts {
+			l[i] = New(gen.Next(), rights.Set(r))
+		}
+		got, rest, err := DecodeList(EncodeList(nil, l))
+		if err != nil || len(rest) != 0 || len(got) != len(l) {
+			return false
+		}
+		for i := range l {
+			if got[i] != l[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	c := New(gen.Next(), rights.All)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := c.Encode(nil)
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

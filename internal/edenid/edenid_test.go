@@ -1,0 +1,239 @@
+package edenid
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRoundTripsParts(t *testing.T) {
+	id := New(7, 0x1234, 42)
+	if got := id.Node(); got != 7 {
+		t.Errorf("Node() = %d, want 7", got)
+	}
+	if got := id.Stamp(); got != 0x1234 {
+		t.Errorf("Stamp() = %#x, want 0x1234", got)
+	}
+	if got := id.Seq(); got != 42 {
+		t.Errorf("Seq() = %d, want 42", got)
+	}
+	if !id.Valid() {
+		t.Error("freshly minted ID reports invalid checksum")
+	}
+}
+
+func TestNilProperties(t *testing.T) {
+	if !Nil.IsNil() {
+		t.Error("Nil.IsNil() = false")
+	}
+	if !Nil.Valid() {
+		t.Error("Nil must be valid by definition")
+	}
+	if got := Nil.String(); got != "nil" {
+		t.Errorf("Nil.String() = %q, want \"nil\"", got)
+	}
+	if New(1, 1, 1).IsNil() {
+		t.Error("real ID reports IsNil")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	id := New(3, 99, 1000)
+	buf := id.Encode(nil)
+	if len(buf) != Size {
+		t.Fatalf("encoded length = %d, want %d", len(buf), Size)
+	}
+	got, rest, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got != id {
+		t.Errorf("round trip changed ID: got %v want %v", got, id)
+	}
+	if len(rest) != 0 {
+		t.Errorf("Decode left %d residual bytes", len(rest))
+	}
+}
+
+func TestDecodeLeavesTail(t *testing.T) {
+	id := New(1, 2, 3)
+	buf := append(id.Encode(nil), 0xAA, 0xBB)
+	_, rest, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(rest) != 2 || rest[0] != 0xAA {
+		t.Errorf("rest = %x, want aabb", rest)
+	}
+}
+
+func TestDecodeShortInput(t *testing.T) {
+	if _, _, err := Decode(make([]byte, Size-1)); err == nil {
+		t.Error("Decode of short input succeeded, want error")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	id := New(5, 6, 7)
+	for i := 0; i < Size; i++ {
+		buf := id.Encode(nil)
+		buf[i] ^= 0x40
+		if _, _, err := Decode(buf); err == nil {
+			t.Errorf("Decode accepted ID with byte %d flipped", i)
+		}
+	}
+}
+
+func TestGeneratorUniqueSequential(t *testing.T) {
+	g := NewGenerator(1)
+	seen := make(map[ID]bool)
+	for i := 0; i < 10000; i++ {
+		id := g.Next()
+		if seen[id] {
+			t.Fatalf("duplicate ID after %d mints: %v", i, id)
+		}
+		if id.IsNil() {
+			t.Fatal("generator minted the Nil ID")
+		}
+		seen[id] = true
+	}
+}
+
+func TestGeneratorUniqueConcurrent(t *testing.T) {
+	g := NewGenerator(2)
+	const workers, per = 8, 2000
+	var mu sync.Mutex
+	seen := make(map[ID]bool, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]ID, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, g.Next())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if seen[id] {
+					t.Errorf("duplicate concurrent ID %v", id)
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != workers*per {
+		t.Errorf("minted %d unique IDs, want %d", len(seen), workers*per)
+	}
+}
+
+func TestGeneratorsForSameNodeDoNotCollide(t *testing.T) {
+	// A restarted node gets a new generator with the same node number;
+	// names must still never collide.
+	g1 := NewGenerator(9)
+	g2 := NewGenerator(9)
+	seen := make(map[ID]bool)
+	for i := 0; i < 1000; i++ {
+		a, b := g1.Next(), g2.Next()
+		if seen[a] || seen[b] || a == b {
+			t.Fatalf("collision between restarted generators at %d", i)
+		}
+		seen[a], seen[b] = true, true
+	}
+}
+
+func TestGeneratorSequenceWrapAdvancesStamp(t *testing.T) {
+	g := NewGenerator(4)
+	g.seq = 1<<24 - 2 // force an imminent wrap
+	a := g.Next()
+	b := g.Next() // wraps here
+	c := g.Next()
+	if a == b || b == c || a == c {
+		t.Fatal("IDs across a sequence wrap collide")
+	}
+	if b.Stamp() != a.Stamp()+1 {
+		t.Errorf("stamp after wrap = %d, want %d", b.Stamp(), a.Stamp()+1)
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	g := NewGenerator(1)
+	ids := make([]ID, 50)
+	for i := range ids {
+		ids[i] = g.Next()
+	}
+	// A generator's output is already ascending in (stamp, seq), so the
+	// encoded order must agree.
+	if !sort.SliceIsSorted(ids, func(i, j int) bool { return Compare(ids[i], ids[j]) < 0 }) {
+		t.Error("generator output not ascending under Compare")
+	}
+	for _, id := range ids {
+		if Compare(id, id) != 0 {
+			t.Errorf("Compare(%v, itself) != 0", id)
+		}
+	}
+}
+
+// Property: encode→decode is the identity for any well-formed ID.
+func TestQuickEncodeDecodeIdentity(t *testing.T) {
+	f := func(node uint32, stamp uint64, seq uint32) bool {
+		id := New(node, stamp, seq&0xFFFFFF)
+		got, _, err := Decode(id.Encode(nil))
+		return err == nil && got == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with equality.
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(n1, n2 uint32, s1, s2 uint64, q1, q2 uint32) bool {
+		a := New(n1, s1, q1&0xFFFFFF)
+		b := New(n2, s2, q2&0xFFFFFF)
+		c := Compare(a, b)
+		if a == b {
+			return c == 0
+		}
+		return c == -Compare(b, a) && c != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: String is injective over distinct part triples.
+func TestQuickStringInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seen := make(map[string]ID)
+	for i := 0; i < 5000; i++ {
+		id := New(rng.Uint32(), rng.Uint64(), rng.Uint32()&0xFFFFFF)
+		s := id.String()
+		if prev, ok := seen[s]; ok && prev != id {
+			t.Fatalf("String collision: %v and %v both render %q", prev, id, s)
+		}
+		seen[s] = id
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	g := NewGenerator(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.Next()
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	buf := New(1, 2, 3).Encode(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package efs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"eden/internal/capability"
+	"eden/internal/kernel"
+)
+
+// CCMode selects the concurrency-control discipline — the choice §5
+// encapsulates "to facilitate experimentation with alternate
+// approaches".
+type CCMode uint8
+
+const (
+	// Locking takes the file lock at write time (pessimistic 2PL):
+	// conflicts surface early and the lock is held until commit.
+	Locking CCMode = iota
+	// Optimistic buffers writes without locks; prepare validates that
+	// the base version is still the latest. Conflicts surface at
+	// commit.
+	Optimistic
+)
+
+// String names the mode.
+func (m CCMode) String() string {
+	switch m {
+	case Locking:
+		return "locking"
+	case Optimistic:
+		return "optimistic"
+	default:
+		return fmt.Sprintf("ccmode(%d)", uint8(m))
+	}
+}
+
+// tidCounter mints process-unique transaction ids.
+var tidCounter atomic.Uint64
+
+// Client is one node's EFS access point.
+type Client struct {
+	k    *kernel.Kernel
+	mode CCMode
+}
+
+// NewClient returns an EFS client bound to a kernel, using the given
+// concurrency-control mode for its transactions.
+func NewClient(k *kernel.Kernel, mode CCMode) *Client {
+	return &Client{k: k, mode: mode}
+}
+
+// Mode returns the client's concurrency-control mode.
+func (c *Client) Mode() CCMode { return c.mode }
+
+// CreateFile creates an empty EFS file on the client's node.
+func (c *Client) CreateFile() (capability.Capability, error) {
+	return c.k.Create(TypeName, nil)
+}
+
+// CreateReplicated creates a file whose committed versions are
+// mirrored at the given nodes: the primary lives on the client's node,
+// and one mirror file is created on (moved to) each listed node. The
+// returned capabilities are the primary followed by the mirrors.
+func (c *Client) CreateReplicated(nodes ...uint32) (primary capability.Capability, mirrors capability.List, err error) {
+	primary, err = c.CreateFile()
+	if err != nil {
+		return capability.Capability{}, nil, err
+	}
+	for _, n := range nodes {
+		m, err := c.CreateFile()
+		if err != nil {
+			return capability.Capability{}, nil, err
+		}
+		if n != c.k.Node() {
+			obj, err := c.k.Object(m.ID())
+			if err != nil {
+				return capability.Capability{}, nil, err
+			}
+			if err := <-obj.Move(n); err != nil {
+				return capability.Capability{}, nil, fmt.Errorf("efs: placing mirror on node %d: %w", n, err)
+			}
+		}
+		if _, err := c.k.Invoke(primary, "add-mirror", nil, capability.List{m}, nil); err != nil {
+			return capability.Capability{}, nil, err
+		}
+		mirrors = append(mirrors, m)
+	}
+	return primary, mirrors, nil
+}
+
+// Read returns the latest committed version of the file.
+func (c *Client) Read(file capability.Capability) (data []byte, version uint64, err error) {
+	return c.ReadVersion(file, 0)
+}
+
+// ReadVersion returns the given version (0 = latest). Versions are
+// immutable, so any replica can serve any version it holds.
+func (c *Client) ReadVersion(file capability.Capability, version uint64) ([]byte, uint64, error) {
+	var req [8]byte
+	binary.BigEndian.PutUint64(req[:], version)
+	rep, err := c.k.Invoke(file, "read", req[:], nil, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(rep.Data) < 8 {
+		return nil, 0, fmt.Errorf("efs: malformed read reply")
+	}
+	return rep.Data[8:], binary.BigEndian.Uint64(rep.Data), nil
+}
+
+// ReadAny reads the latest version from the first file in candidates
+// that answers — typically the primary plus its mirrors, ordered by
+// preference. Immutability makes any answer correct (possibly
+// slightly behind the primary).
+func (c *Client) ReadAny(candidates ...capability.Capability) ([]byte, uint64, error) {
+	var lastErr error
+	for _, f := range candidates {
+		data, ver, err := c.Read(f)
+		if err == nil {
+			return data, ver, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("efs: no candidates")
+	}
+	return nil, 0, lastErr
+}
+
+// History returns the latest version number and the count of retained
+// versions.
+func (c *Client) History(file capability.Capability) (latest, count uint64, err error) {
+	rep, err := c.k.Invoke(file, "history", nil, nil, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(rep.Data) != 16 {
+		return 0, 0, fmt.Errorf("efs: malformed history reply")
+	}
+	return binary.BigEndian.Uint64(rep.Data), binary.BigEndian.Uint64(rep.Data[8:]), nil
+}
+
+// Tx is one transaction: a set of buffered writes (and recorded reads)
+// that commits atomically across all touched files via two-phase
+// commit.
+type Tx struct {
+	c      *Client
+	tid    string
+	writes []txWrite
+	locked []capability.Capability // locking mode: locks already held
+	done   bool
+}
+
+type txWrite struct {
+	file capability.Capability
+	base uint64
+	data []byte
+}
+
+// Begin starts a transaction.
+func (c *Client) Begin() *Tx {
+	return &Tx{
+		c:   c,
+		tid: fmt.Sprintf("tx-%d-%d", c.k.Node(), tidCounter.Add(1)),
+	}
+}
+
+// TID returns the transaction's identifier.
+func (t *Tx) TID() string { return t.tid }
+
+// Read reads the latest version inside the transaction, recording the
+// version so a later Write of the same file validates against it.
+func (t *Tx) Read(file capability.Capability) ([]byte, uint64, error) {
+	if t.done {
+		return nil, 0, ErrBadTransaction
+	}
+	return t.c.Read(file)
+}
+
+// Write buffers new content for the file. In Locking mode the file's
+// transaction lock is taken now; in Optimistic mode nothing happens
+// until Commit. base is the version the write builds upon (from a
+// transactional Read); writes that don't care pass the current version
+// via WriteLatest.
+func (t *Tx) Write(file capability.Capability, base uint64, data []byte) error {
+	if t.done {
+		return ErrBadTransaction
+	}
+	if t.c.mode == Locking {
+		if _, err := t.c.k.Invoke(file, "lock", []byte(t.tid), nil, nil); err != nil {
+			if isConflict(err) {
+				return fmt.Errorf("%w: %v", ErrConflict, err)
+			}
+			return err
+		}
+		t.locked = append(t.locked, file)
+	}
+	// Replace an earlier buffered write of the same file.
+	for i := range t.writes {
+		if t.writes[i].file.ID() == file.ID() {
+			t.writes[i].data = append([]byte(nil), data...)
+			return nil
+		}
+	}
+	t.writes = append(t.writes, txWrite{file: file, base: base, data: append([]byte(nil), data...)})
+	return nil
+}
+
+// WriteLatest buffers new content on top of whatever version is
+// current at this moment (read-modify-write transactions should use
+// Read + Write instead to get validation).
+func (t *Tx) WriteLatest(file capability.Capability, data []byte) error {
+	_, ver, err := t.Read(file)
+	if err != nil {
+		return err
+	}
+	return t.Write(file, ver, data)
+}
+
+// Commit runs two-phase commit over the transaction's files. On a
+// conflict every prepared file is aborted and ErrConflict returned;
+// the caller may retry the whole transaction.
+func (t *Tx) Commit() error {
+	if t.done {
+		return ErrBadTransaction
+	}
+	t.done = true
+	if len(t.writes) == 0 {
+		t.releaseLocks()
+		return nil
+	}
+
+	// Phase one: prepare everywhere.
+	prepared := make([]capability.Capability, 0, len(t.writes))
+	for _, w := range t.writes {
+		req := make([]byte, 0, 12+len(t.tid)+len(w.data))
+		req = binary.BigEndian.AppendUint32(req, uint32(len(t.tid)))
+		req = append(req, t.tid...)
+		req = binary.BigEndian.AppendUint64(req, w.base)
+		req = append(req, w.data...)
+		if _, err := t.c.k.Invoke(w.file, "prepare", req, nil, nil); err != nil {
+			// A no vote (or a failure) aborts the transaction.
+			t.abortAll(prepared)
+			t.releaseLocks()
+			if isConflict(err) {
+				return fmt.Errorf("%w: %v", ErrConflict, err)
+			}
+			return fmt.Errorf("efs: prepare: %w", err)
+		}
+		prepared = append(prepared, w.file)
+	}
+
+	// Phase two: commit everywhere. Prepared files hold the
+	// transaction's lock, so commit cannot conflict; a failure here is
+	// an availability problem (the classic 2PC window), reported but
+	// not repaired.
+	var firstErr error
+	for _, f := range prepared {
+		if _, err := t.c.k.Invoke(f, "commit", []byte(t.tid), nil, nil); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("efs: commit phase two: %w", err)
+		}
+	}
+	t.releaseLocks()
+	return firstErr
+}
+
+// Abort abandons the transaction, releasing locks and pending state.
+func (t *Tx) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	files := make([]capability.Capability, 0, len(t.writes))
+	for _, w := range t.writes {
+		files = append(files, w.file)
+	}
+	t.abortAll(files)
+	t.releaseLocks()
+}
+
+func (t *Tx) abortAll(files []capability.Capability) {
+	for _, f := range files {
+		_, _ = t.c.k.Invoke(f, "abort", []byte(t.tid), nil, nil)
+	}
+}
+
+// releaseLocks drops locking-mode locks not already released by
+// commit/abort (abort and commit clear the lock only on files that
+// reached prepare; a locking-mode transaction may hold locks on files
+// whose prepare never ran).
+func (t *Tx) releaseLocks() {
+	for _, f := range t.locked {
+		_, _ = t.c.k.Invoke(f, "unlock", []byte(t.tid), nil, nil)
+	}
+	t.locked = nil
+}

@@ -1,0 +1,187 @@
+package efs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"eden/internal/kernel"
+	"eden/internal/naming"
+)
+
+// pathSys builds a system with both the directory and EFS types.
+func pathSys(t *testing.T, nodes ...uint32) map[uint32]*kernel.Kernel {
+	t.Helper()
+	ks := testSys(t, nodes...)
+	// testSys registers efs.file; add the directory type to the shared
+	// registry via any kernel's registry handle.
+	if err := naming.RegisterType(ks[nodes[0]].Types()); err != nil {
+		t.Fatal(err)
+	}
+	return ks
+}
+
+func newPathFS(t *testing.T, k *kernel.Kernel) *PathFS {
+	t.Helper()
+	root, err := naming.CreateRoot(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPathFS(NewClient(k, Optimistic), root)
+}
+
+func TestPathWriteRead(t *testing.T) {
+	ks := pathSys(t, 1)
+	fs := newPathFS(t, ks[1])
+	ver, err := fs.Write("docs/design/eden.txt", []byte("object-based"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 1 {
+		t.Errorf("first write version = %d", ver)
+	}
+	data, ver, err := fs.Read("docs/design/eden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 1 || string(data) != "object-based" {
+		t.Errorf("read = v%d %q", ver, data)
+	}
+}
+
+func TestPathVersionsAccumulate(t *testing.T) {
+	ks := pathSys(t, 1)
+	fs := newPathFS(t, ks[1])
+	for i := 1; i <= 3; i++ {
+		ver, err := fs.Write("notes.txt", []byte(fmt.Sprintf("draft %d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ver != uint64(i) {
+			t.Errorf("write %d returned version %d", i, ver)
+		}
+	}
+	data, ver, err := fs.ReadVersion("notes.txt", 2)
+	if err != nil || ver != 2 || string(data) != "draft 2" {
+		t.Errorf("ReadVersion(2) = v%d %q %v", ver, data, err)
+	}
+}
+
+func TestPathListAndRemove(t *testing.T) {
+	ks := pathSys(t, 1)
+	fs := newPathFS(t, ks[1])
+	for _, p := range []string{"a/x.txt", "a/y.txt", "b/z.txt"} {
+		if _, err := fs.Write(p, []byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	top, err := fs.List("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0] != "a" || top[1] != "b" {
+		t.Errorf("List(/) = %v", top)
+	}
+	inA, err := fs.List("a")
+	if err != nil || len(inA) != 2 {
+		t.Fatalf("List(a) = %v %v", inA, err)
+	}
+	if err := fs.Remove("a/x.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fs.Read("a/x.txt"); !errors.Is(err, naming.ErrNotFound) {
+		t.Errorf("read after remove: %v", err)
+	}
+	inA, _ = fs.List("a")
+	if len(inA) != 1 || inA[0] != "y.txt" {
+		t.Errorf("List(a) after remove = %v", inA)
+	}
+}
+
+func TestPathErrors(t *testing.T) {
+	ks := pathSys(t, 1)
+	fs := newPathFS(t, ks[1])
+	if _, err := fs.Write("", []byte("x")); !errors.Is(err, naming.ErrBadName) {
+		t.Errorf("empty path write: %v", err)
+	}
+	if _, err := fs.Write("a//b", []byte("x")); !errors.Is(err, naming.ErrBadName) {
+		t.Errorf("double-slash path: %v", err)
+	}
+	if _, _, err := fs.Read("ghost.txt"); !errors.Is(err, naming.ErrNotFound) {
+		t.Errorf("missing read: %v", err)
+	}
+	if err := fs.Remove("nope/nothing"); !errors.Is(err, naming.ErrNotFound) {
+		t.Errorf("remove through missing dir: %v", err)
+	}
+	// Reading a path bound to a directory is ErrNotFile.
+	if _, err := fs.Create("dir/file"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fs.Read("dir"); !errors.Is(err, ErrNotFile) {
+		t.Errorf("read of a directory: %v", err)
+	}
+}
+
+func TestPathCreateRejectsDuplicate(t *testing.T) {
+	ks := pathSys(t, 1)
+	fs := newPathFS(t, ks[1])
+	if _, err := fs.Create("f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("f"); !errors.Is(err, naming.ErrExists) {
+		t.Errorf("duplicate create: %v", err)
+	}
+}
+
+func TestPathSharedAcrossNodes(t *testing.T) {
+	ks := pathSys(t, 1, 2)
+	fsA := newPathFS(t, ks[1])
+	// Node 2 mounts the same root.
+	fsB := NewPathFS(NewClient(ks[2], Optimistic), fsA.Root())
+	if _, err := fsA.Write("shared/readme", []byte("from node 1")); err != nil {
+		t.Fatal(err)
+	}
+	data, ver, err := fsB.Read("shared/readme")
+	if err != nil || ver != 1 || string(data) != "from node 1" {
+		t.Fatalf("cross-node read = v%d %q %v", ver, data, err)
+	}
+	if _, err := fsB.Write("shared/readme", []byte("from node 2")); err != nil {
+		t.Fatal(err)
+	}
+	data, ver, _ = fsA.Read("shared/readme")
+	if ver != 2 || string(data) != "from node 2" {
+		t.Errorf("node 1 sees v%d %q", ver, data)
+	}
+}
+
+func TestPathConcurrentWritersAllVersionsLand(t *testing.T) {
+	ks := pathSys(t, 1)
+	fs := newPathFS(t, ks[1])
+	if _, err := fs.Write("hot", []byte("seed")); err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 4, 5
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := fs.Write("hot", []byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	_, ver, err := fs.Read("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 1+writers*per {
+		t.Errorf("final version = %d, want %d", ver, 1+writers*per)
+	}
+}

@@ -1,0 +1,544 @@
+// Package ether is a discrete-event simulator of an Ethernet-style
+// CSMA/CD local area network.
+//
+// Eden's hardware base is "an Ethernet local area network
+// interconnecting a number of node machines", and the paper grounds
+// that choice in the authors' own measurement study of Ethernet-like
+// networks (Almes & Lazowska 1979). This package reproduces that
+// substrate in simulation: 1-persistent carrier sense, collision
+// detection within a propagation-delay vulnerable window, jam signals,
+// truncated binary exponential backoff, and per-frame delay accounting.
+// The experiment suite uses it to regenerate the utilization/delay
+// versus offered-load curves whose shape motivated Eden's network
+// choice.
+//
+// The simulator runs in virtual time (nanoseconds) and is fully
+// deterministic given a seed.
+package ether
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Config fixes the physical parameters of the simulated network. The
+// zero value is not useful; start from DefaultConfig.
+type Config struct {
+	// BitRate is the channel capacity in bits per second.
+	BitRate float64
+	// Propagation is the end-to-end propagation delay; two stations
+	// starting to transmit within this window collide.
+	Propagation time.Duration
+	// SlotTime is the backoff quantum (classically 512 bit times).
+	SlotTime time.Duration
+	// JamTime is how long a station jams after detecting a collision.
+	JamTime time.Duration
+	// InterframeGap is the mandatory quiet time between frames.
+	InterframeGap time.Duration
+	// MaxAttempts is the attempt limit after which a frame is dropped
+	// (16 in the standard).
+	MaxAttempts int
+	// MaxQueue bounds each station's transmit queue; arrivals beyond
+	// it are dropped and counted. Zero means unbounded.
+	MaxQueue int
+}
+
+// DefaultConfig returns the parameters of the experimental 10 Mb/s
+// Ethernet: 512-bit slot, 48-bit jam, 9.6 µs interframe gap, and a
+// 5 µs end-to-end propagation delay (a ~1 km cable).
+func DefaultConfig() Config {
+	return Config{
+		BitRate:       10e6,
+		Propagation:   5 * time.Microsecond,
+		SlotTime:      time.Duration(512 * 100), // 512 bit times at 100ns/bit
+		JamTime:       time.Duration(48 * 100),
+		InterframeGap: 9600, // 9.6µs in ns
+		MaxAttempts:   16,
+		MaxQueue:      64,
+	}
+}
+
+// frameTime returns how long a frame of the given size occupies the
+// channel.
+func (c Config) frameTime(bits int) time.Duration {
+	return time.Duration(float64(bits) / c.BitRate * 1e9)
+}
+
+// Stats accumulates the results of a simulation run.
+type Stats struct {
+	// Elapsed is the virtual time simulated.
+	Elapsed time.Duration
+	// Delivered counts successfully transmitted frames.
+	Delivered int
+	// DeliveredBits counts their total payload.
+	DeliveredBits int64
+	// DroppedExcess counts frames dropped after MaxAttempts
+	// collisions.
+	DroppedExcess int
+	// DroppedQueue counts arrivals dropped because a station queue was
+	// full.
+	DroppedQueue int
+	// Collisions counts collision events on the channel.
+	Collisions int
+	// TotalDelay sums, over delivered frames, the time from arrival to
+	// complete delivery.
+	TotalDelay time.Duration
+	// BusyTime is the total time the channel carried a successful
+	// transmission (used for utilization).
+	BusyTime time.Duration
+}
+
+// Utilization returns the fraction of channel capacity carrying
+// successfully delivered bits.
+func (s Stats) Utilization() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.BusyTime) / float64(s.Elapsed)
+}
+
+// MeanDelay returns the mean arrival-to-delivery latency of delivered
+// frames.
+func (s Stats) MeanDelay() time.Duration {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return s.TotalDelay / time.Duration(s.Delivered)
+}
+
+// CollisionRate returns collisions per delivered frame.
+func (s Stats) CollisionRate() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.Collisions) / float64(s.Delivered)
+}
+
+// frame is one queued transmission.
+type frame struct {
+	arrival time.Duration // virtual arrival time
+	bits    int
+}
+
+// station models one attached host's MAC layer.
+type station struct {
+	id       int
+	queue    []frame
+	attempts int  // collisions suffered by the head frame
+	pending  bool // a TryStart or Retry event is in flight
+}
+
+// event kinds.
+type evKind uint8
+
+const (
+	evArrival evKind = iota + 1
+	evTry            // station attempts to seize the channel
+	evEnd            // current transmission or jam period ends
+)
+
+type event struct {
+	at      time.Duration
+	seq     int // tie-break for determinism
+	kind    evKind
+	station int
+	token   int // validity token for evEnd
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// channel modes.
+type chMode uint8
+
+const (
+	chIdle chMode = iota
+	chTransmit
+	chJam
+)
+
+// Sim is one simulation instance. Create with New, drive with Run.
+type Sim struct {
+	cfg      Config
+	rng      *rand.Rand
+	stations []*station
+	now      time.Duration
+	events   eventHeap
+	seq      int
+
+	mode      chMode
+	active    int           // transmitting station (chTransmit)
+	txStart   time.Duration // when the active transmission began
+	txFrame   frame
+	busyUntil time.Duration // end of jam period (chJam)
+	token     int           // current evEnd validity token
+
+	deferred []int // stations waiting for the channel to go idle
+
+	// workload
+	arrivalRate float64 // frames/sec per station (Poisson)
+	frameBits   int
+
+	stats      Stats
+	perStation []int // delivered frames per station
+}
+
+// New returns a simulator with n stations, each generating Poisson
+// frame arrivals at perStationRate frames/second with frameBits-bit
+// frames, using the supplied configuration and seed.
+func New(cfg Config, n int, perStationRate float64, frameBits int, seed int64) (*Sim, error) {
+	if n < 1 {
+		return nil, errors.New("ether: need at least one station")
+	}
+	if frameBits <= 0 {
+		return nil, errors.New("ether: frame size must be positive")
+	}
+	if cfg.BitRate <= 0 {
+		return nil, errors.New("ether: bit rate must be positive")
+	}
+	s := &Sim{
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(seed)),
+		arrivalRate: perStationRate,
+		frameBits:   frameBits,
+	}
+	for i := 0; i < n; i++ {
+		s.stations = append(s.stations, &station{id: i})
+		if perStationRate > 0 {
+			s.scheduleArrival(i)
+		}
+	}
+	s.perStation = make([]int, n)
+	return s, nil
+}
+
+// OfferedLoad returns the configured offered load G: total arrival
+// bit-rate divided by channel capacity.
+func (s *Sim) OfferedLoad() float64 {
+	return float64(len(s.stations)) * s.arrivalRate * float64(s.frameBits) / s.cfg.BitRate
+}
+
+func (s *Sim) push(e event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// scheduleArrival draws the next Poisson interarrival for station i.
+func (s *Sim) scheduleArrival(i int) {
+	gap := time.Duration(s.rng.ExpFloat64() / s.arrivalRate * 1e9)
+	s.push(event{at: s.now + gap, kind: evArrival, station: i})
+}
+
+// sensedBusy reports whether station sensing at time t hears carrier.
+// A transmission is audible only after one propagation delay — the
+// classic vulnerable window.
+func (s *Sim) sensedBusy(t time.Duration) bool {
+	switch s.mode {
+	case chJam:
+		return t < s.busyUntil
+	case chTransmit:
+		return t-s.txStart >= s.cfg.Propagation
+	default:
+		return false
+	}
+}
+
+// enqueueTry schedules a channel-seizure attempt for station i at time
+// t, unless one is already in flight.
+func (s *Sim) enqueueTry(i int, t time.Duration) {
+	st := s.stations[i]
+	if st.pending {
+		return
+	}
+	st.pending = true
+	s.push(event{at: t, kind: evTry, station: i})
+}
+
+// handleArrival admits a new frame at station i.
+func (s *Sim) handleArrival(i int) {
+	st := s.stations[i]
+	if s.cfg.MaxQueue > 0 && len(st.queue) >= s.cfg.MaxQueue {
+		s.stats.DroppedQueue++
+	} else {
+		st.queue = append(st.queue, frame{arrival: s.now, bits: s.frameBits})
+		if len(st.queue) == 1 {
+			s.enqueueTry(i, s.now)
+		}
+	}
+	s.scheduleArrival(i)
+}
+
+// handleTry is a station's attempt to seize the channel.
+func (s *Sim) handleTry(i int) {
+	st := s.stations[i]
+	st.pending = false
+	if len(st.queue) == 0 {
+		return
+	}
+	if s.sensedBusy(s.now) {
+		// 1-persistent: wait for the idle transition, then pounce.
+		s.deferred = append(s.deferred, i)
+		return
+	}
+	if s.mode == chTransmit {
+		// Another station is on the wire but within the vulnerable
+		// window, so we heard nothing: collision.
+		s.collide(i)
+		return
+	}
+	// Channel genuinely idle: begin transmitting.
+	s.mode = chTransmit
+	s.active = i
+	s.txStart = s.now
+	s.txFrame = st.queue[0]
+	s.token++
+	s.push(event{at: s.now + s.cfg.frameTime(s.txFrame.bits), kind: evEnd, token: s.token})
+}
+
+// collide resolves a collision between the active transmitter and the
+// newcomer i.
+func (s *Sim) collide(i int) {
+	s.stats.Collisions++
+	parties := []int{s.active, i}
+	// Both stations detect the collision after at most one propagation
+	// delay and jam; the channel is unusable until the jam clears.
+	abortEnd := s.now + s.cfg.Propagation + s.cfg.JamTime
+	s.mode = chJam
+	s.busyUntil = abortEnd
+	s.token++
+	s.push(event{at: abortEnd, kind: evEnd, token: s.token})
+	for _, p := range parties {
+		s.backoff(p, abortEnd)
+	}
+}
+
+// backoff schedules station p's retransmission after a truncated
+// binary exponential backoff, or drops the frame past the attempt
+// limit.
+func (s *Sim) backoff(p int, from time.Duration) {
+	st := s.stations[p]
+	st.attempts++
+	if st.attempts >= s.cfg.MaxAttempts {
+		// Excessive collisions: drop the head frame.
+		st.queue = st.queue[1:]
+		st.attempts = 0
+		s.stats.DroppedExcess++
+		if len(st.queue) > 0 {
+			s.enqueueTry(p, from+s.cfg.InterframeGap)
+		}
+		return
+	}
+	k := st.attempts
+	if k > 10 {
+		k = 10
+	}
+	slots := s.rng.Intn(1 << uint(k))
+	retry := from + time.Duration(slots)*s.cfg.SlotTime
+	s.enqueueTry(p, retry)
+}
+
+// handleEnd fires when the current transmission completes or the jam
+// period clears.
+func (s *Sim) handleEnd(tok int) {
+	if tok != s.token {
+		return // superseded by a collision
+	}
+	switch s.mode {
+	case chTransmit:
+		st := s.stations[s.active]
+		f := st.queue[0]
+		st.queue = st.queue[1:]
+		st.attempts = 0
+		s.stats.Delivered++
+		s.perStation[s.active]++
+		s.stats.DeliveredBits += int64(f.bits)
+		s.stats.TotalDelay += s.now - f.arrival
+		s.stats.BusyTime += s.cfg.frameTime(f.bits)
+		if len(st.queue) > 0 {
+			s.enqueueTry(s.active, s.now+s.cfg.InterframeGap)
+		}
+	case chJam:
+		// nothing to deliver
+	case chIdle:
+		return
+	}
+	s.mode = chIdle
+	// Release every deferred station at the idle transition; with more
+	// than one waiter this recreates the classic post-idle collision.
+	if len(s.deferred) > 0 {
+		waiters := s.deferred
+		s.deferred = nil
+		s.rng.Shuffle(len(waiters), func(i, j int) {
+			waiters[i], waiters[j] = waiters[j], waiters[i]
+		})
+		for _, w := range waiters {
+			s.enqueueTry(w, s.now+s.cfg.InterframeGap)
+		}
+	}
+}
+
+// Run advances virtual time by d and returns the cumulative statistics.
+// Run may be called repeatedly to extend a simulation.
+func (s *Sim) Run(d time.Duration) Stats {
+	deadline := s.now + d
+	for len(s.events) > 0 {
+		e := s.events[0]
+		if e.at > deadline {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = e.at
+		switch e.kind {
+		case evArrival:
+			s.handleArrival(e.station)
+		case evTry:
+			s.handleTry(e.station)
+		case evEnd:
+			s.handleEnd(e.token)
+		}
+	}
+	s.now = deadline
+	s.stats.Elapsed = s.now
+	return s.stats
+}
+
+// Stats returns the statistics accumulated so far.
+func (s *Sim) Stats() Stats {
+	s.stats.Elapsed = s.now
+	return s.stats
+}
+
+// LoadPoint is one row of a load-sweep experiment.
+type LoadPoint struct {
+	Offered     float64 // offered load G (fraction of capacity)
+	Utilization float64 // delivered fraction of capacity
+	MeanDelay   time.Duration
+	Collisions  float64 // collisions per delivered frame
+	DropRate    float64 // dropped / (delivered+dropped)
+}
+
+// SweepLoad runs the simulator across the given offered loads (each for
+// dur of virtual time) with n stations and frameBits-bit frames,
+// returning one row per load. This regenerates the utilization/delay
+// curve of the Ethernet study the paper builds on.
+func SweepLoad(cfg Config, n int, frameBits int, loads []float64, dur time.Duration, seed int64) ([]LoadPoint, error) {
+	out := make([]LoadPoint, 0, len(loads))
+	for i, g := range loads {
+		if g < 0 {
+			return nil, fmt.Errorf("ether: negative offered load %v", g)
+		}
+		perStation := g * cfg.BitRate / float64(frameBits) / float64(n)
+		sim, err := New(cfg, n, perStation, frameBits, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		st := sim.Run(dur)
+		dropped := st.DroppedExcess + st.DroppedQueue
+		var dropRate float64
+		if st.Delivered+dropped > 0 {
+			dropRate = float64(dropped) / float64(st.Delivered+dropped)
+		}
+		out = append(out, LoadPoint{
+			Offered:     g,
+			Utilization: st.Utilization(),
+			MeanDelay:   st.MeanDelay(),
+			Collisions:  st.CollisionRate(),
+			DropRate:    dropRate,
+		})
+	}
+	return out, nil
+}
+
+// Efficiency returns the theoretical CSMA/CD efficiency bound
+// 1/(1+e·a) where a is the ratio of propagation delay to frame time —
+// a reference line for the sweep plots.
+func Efficiency(cfg Config, frameBits int) float64 {
+	a := float64(cfg.Propagation) / float64(cfg.frameTime(frameBits))
+	return 1 / (1 + math.E*a)
+}
+
+// SizePoint is one row of a frame-size sweep.
+type SizePoint struct {
+	// FrameBits is the frame size swept.
+	FrameBits int
+	// Utilization is the delivered fraction of capacity.
+	Utilization float64
+	// MeanDelay is the mean arrival-to-delivery latency.
+	MeanDelay time.Duration
+	// Bound is the theoretical efficiency bound 1/(1+e·a) at this
+	// frame size.
+	Bound float64
+}
+
+// SweepFrameSize runs the simulator at a fixed offered load across
+// frame sizes: the classic result that CSMA/CD efficiency is poor for
+// short frames (the vulnerable window dominates) and excellent for
+// long ones.
+func SweepFrameSize(cfg Config, n int, sizes []int, load float64, dur time.Duration, seed int64) ([]SizePoint, error) {
+	out := make([]SizePoint, 0, len(sizes))
+	for i, bits := range sizes {
+		if bits <= 0 {
+			return nil, fmt.Errorf("ether: non-positive frame size %d", bits)
+		}
+		perStation := load * cfg.BitRate / float64(bits) / float64(n)
+		sim, err := New(cfg, n, perStation, bits, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		st := sim.Run(dur)
+		out = append(out, SizePoint{
+			FrameBits:   bits,
+			Utilization: st.Utilization(),
+			MeanDelay:   st.MeanDelay(),
+			Bound:       Efficiency(cfg, bits),
+		})
+	}
+	return out, nil
+}
+
+// DeliveredByStation returns each station's delivered frame count, for
+// fairness analysis.
+func (s *Sim) DeliveredByStation() []int {
+	out := make([]int, len(s.stations))
+	copy(out, s.perStation)
+	return out
+}
+
+// Fairness computes Jain's fairness index over per-station delivered
+// counts: 1.0 means perfectly equal shares, 1/n means one station took
+// everything. The Ethernet measurement study found CSMA/CD shares the
+// channel remarkably fairly among symmetric stations.
+func Fairness(delivered []int) float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, d := range delivered {
+		sum += float64(d)
+		sumSq += float64(d) * float64(d)
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
+}

@@ -1,0 +1,283 @@
+package ether
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := New(cfg, 0, 1, 1000, 1); err == nil {
+		t.Error("accepted zero stations")
+	}
+	if _, err := New(cfg, 1, 1, 0, 1); err == nil {
+		t.Error("accepted zero-bit frames")
+	}
+	bad := cfg
+	bad.BitRate = 0
+	if _, err := New(bad, 1, 1, 1000, 1); err == nil {
+		t.Error("accepted zero bit rate")
+	}
+}
+
+func TestSingleStationNoCollisions(t *testing.T) {
+	sim, err := New(DefaultConfig(), 1, 100, 8000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.Run(2 * time.Second)
+	if st.Collisions != 0 {
+		t.Errorf("single station suffered %d collisions", st.Collisions)
+	}
+	if st.Delivered == 0 {
+		t.Error("no frames delivered")
+	}
+	// 100 frames/s over 2s ≈ 200 frames; Poisson noise allows slack.
+	if st.Delivered < 120 || st.Delivered > 280 {
+		t.Errorf("delivered %d frames, expected ≈200", st.Delivered)
+	}
+}
+
+func TestLowLoadNearOffered(t *testing.T) {
+	// At G=0.1 a healthy Ethernet carries essentially all offered
+	// traffic.
+	pts, err := SweepLoad(DefaultConfig(), 10, 8000, []float64{0.1}, 2*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := pts[0].Utilization
+	if u < 0.07 || u > 0.13 {
+		t.Errorf("utilization at G=0.1 is %.3f, want ≈0.1", u)
+	}
+	if pts[0].DropRate > 0.01 {
+		t.Errorf("drop rate at light load = %.3f", pts[0].DropRate)
+	}
+}
+
+func TestSaturationShape(t *testing.T) {
+	// The defining shape from the Ethernet measurement study: as
+	// offered load crosses 1.0, utilization saturates below capacity
+	// and mean delay grows sharply.
+	loads := []float64{0.2, 0.5, 0.9, 1.5}
+	pts, err := SweepLoad(DefaultConfig(), 16, 8000, loads, 2*time.Second, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[1].Utilization <= pts[0].Utilization {
+		t.Errorf("utilization not rising below saturation: %.3f -> %.3f",
+			pts[0].Utilization, pts[1].Utilization)
+	}
+	sat := pts[3].Utilization
+	if sat < 0.5 || sat > 1.0 {
+		t.Errorf("saturated utilization = %.3f, want substantial but < 1", sat)
+	}
+	if pts[3].MeanDelay < 10*pts[0].MeanDelay {
+		t.Errorf("delay did not blow up past saturation: %v vs %v",
+			pts[0].MeanDelay, pts[3].MeanDelay)
+	}
+	if pts[3].Collisions <= pts[0].Collisions {
+		t.Errorf("collision rate not increasing with load: %.3f -> %.3f",
+			pts[0].Collisions, pts[3].Collisions)
+	}
+}
+
+func TestMoreStationsMoreCollisions(t *testing.T) {
+	cfg := DefaultConfig()
+	var prev float64 = -1
+	for _, n := range []int{2, 32} {
+		pts, err := SweepLoad(cfg, n, 8000, []float64{0.9}, 2*time.Second, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pts[0].Collisions < prev {
+			t.Errorf("collision rate fell from %.3f to %.3f going to %d stations",
+				prev, pts[0].Collisions, n)
+		}
+		prev = pts[0].Collisions
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Stats {
+		sim, err := New(DefaultConfig(), 8, 500, 4000, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Run(time.Second)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("identical seeds diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	mk := func(seed int64) Stats {
+		sim, err := New(DefaultConfig(), 8, 500, 4000, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Run(time.Second)
+	}
+	if mk(1) == mk(2) {
+		t.Error("different seeds produced identical statistics (suspicious)")
+	}
+}
+
+func TestRunIsResumable(t *testing.T) {
+	sim, _ := New(DefaultConfig(), 4, 200, 4000, 3)
+	first := sim.Run(500 * time.Millisecond)
+	second := sim.Run(500 * time.Millisecond)
+	if second.Elapsed != time.Second {
+		t.Errorf("Elapsed after two runs = %v, want 1s", second.Elapsed)
+	}
+	if second.Delivered < first.Delivered {
+		t.Error("statistics went backwards across Run calls")
+	}
+}
+
+func TestZeroRateIdleChannel(t *testing.T) {
+	sim, _ := New(DefaultConfig(), 4, 0, 4000, 3)
+	st := sim.Run(time.Second)
+	if st.Delivered != 0 || st.Collisions != 0 {
+		t.Errorf("idle channel delivered %d frames, %d collisions", st.Delivered, st.Collisions)
+	}
+	if st.Elapsed != time.Second {
+		t.Errorf("Elapsed = %v", st.Elapsed)
+	}
+}
+
+func TestQueueBoundEnforced(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxQueue = 4
+	// Grossly overloaded single pair of stations: queues must overflow
+	// rather than grow without bound.
+	sim, _ := New(cfg, 2, 5000, 12000, 17)
+	st := sim.Run(2 * time.Second)
+	if st.DroppedQueue == 0 {
+		t.Error("overloaded station never dropped at the queue")
+	}
+	for _, s := range sim.stations {
+		if len(s.queue) > cfg.MaxQueue {
+			t.Errorf("queue length %d exceeds bound %d", len(s.queue), cfg.MaxQueue)
+		}
+	}
+}
+
+func TestUtilizationNeverExceedsOne(t *testing.T) {
+	for _, g := range []float64{0.5, 1.0, 2.0, 4.0} {
+		pts, err := SweepLoad(DefaultConfig(), 8, 8000, []float64{g}, time.Second, 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u := pts[0].Utilization; u < 0 || u > 1.0 {
+			t.Errorf("G=%.1f: utilization %.3f out of [0,1]", g, u)
+		}
+	}
+}
+
+func TestSweepRejectsNegativeLoad(t *testing.T) {
+	if _, err := SweepLoad(DefaultConfig(), 4, 8000, []float64{-1}, time.Second, 1); err == nil {
+		t.Error("SweepLoad accepted a negative load")
+	}
+}
+
+func TestEfficiencyBound(t *testing.T) {
+	cfg := DefaultConfig()
+	small := Efficiency(cfg, 512)   // short frames: poor efficiency
+	large := Efficiency(cfg, 12000) // long frames: good efficiency
+	if small >= large {
+		t.Errorf("efficiency bound not increasing with frame size: %.3f vs %.3f", small, large)
+	}
+	if large <= 0 || large >= 1 {
+		t.Errorf("efficiency bound %.3f out of (0,1)", large)
+	}
+}
+
+func TestStatsAccessors(t *testing.T) {
+	var s Stats
+	if s.Utilization() != 0 || s.MeanDelay() != 0 || s.CollisionRate() != 0 {
+		t.Error("zero Stats accessors not zero")
+	}
+	s = Stats{Elapsed: time.Second, BusyTime: 500 * time.Millisecond,
+		Delivered: 2, TotalDelay: time.Millisecond, Collisions: 4}
+	if u := s.Utilization(); u != 0.5 {
+		t.Errorf("Utilization = %v", u)
+	}
+	if d := s.MeanDelay(); d != 500*time.Microsecond {
+		t.Errorf("MeanDelay = %v", d)
+	}
+	if c := s.CollisionRate(); c != 2 {
+		t.Errorf("CollisionRate = %v", c)
+	}
+}
+
+func BenchmarkSimSecond(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim, err := New(DefaultConfig(), 16, 500, 8000, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.Run(time.Second)
+	}
+}
+
+func TestSweepFrameSizeShape(t *testing.T) {
+	// The classic CSMA/CD result: short frames waste the channel on
+	// contention; long frames approach capacity.
+	pts, err := SweepFrameSize(DefaultConfig(), 16, []int{512, 2048, 8000, 12000}, 1.5, 2*time.Second, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Utilization < pts[i-1].Utilization-0.05 {
+			t.Errorf("utilization fell with frame size: %v", pts)
+		}
+		if pts[i].Bound <= pts[i-1].Bound {
+			t.Errorf("efficiency bound not increasing: %v", pts)
+		}
+	}
+	if short, long := pts[0].Utilization, pts[len(pts)-1].Utilization; long <= short {
+		t.Errorf("long frames (%.3f) not above short frames (%.3f)", long, short)
+	}
+	if _, err := SweepFrameSize(DefaultConfig(), 4, []int{0}, 1, time.Second, 1); err == nil {
+		t.Error("accepted zero frame size")
+	}
+}
+
+func TestFairnessSymmetricStations(t *testing.T) {
+	sim, err := New(DefaultConfig(), 16, 100, 8000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(2 * time.Second)
+	delivered := sim.DeliveredByStation()
+	if len(delivered) != 16 {
+		t.Fatalf("per-station counts = %d", len(delivered))
+	}
+	total := 0
+	for _, d := range delivered {
+		total += d
+	}
+	if total != sim.Stats().Delivered {
+		t.Errorf("per-station sum %d != delivered %d", total, sim.Stats().Delivered)
+	}
+	if f := Fairness(delivered); f < 0.9 {
+		t.Errorf("fairness among symmetric stations = %.3f, want ≥ 0.9", f)
+	}
+}
+
+func TestFairnessEdgeCases(t *testing.T) {
+	if f := Fairness(nil); f != 0 {
+		t.Errorf("Fairness(nil) = %v", f)
+	}
+	if f := Fairness([]int{0, 0}); f != 0 {
+		t.Errorf("Fairness(zeros) = %v", f)
+	}
+	if f := Fairness([]int{5, 5, 5, 5}); f < 0.999 {
+		t.Errorf("Fairness(equal) = %v", f)
+	}
+	if f := Fairness([]int{100, 0, 0, 0}); f > 0.26 {
+		t.Errorf("Fairness(monopoly) = %v, want ≈ 0.25", f)
+	}
+}

@@ -1,0 +1,407 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eden"
+)
+
+// RunE1 measures invocation latency, local versus remote, across
+// payload sizes.
+func RunE1() (*Table, error) {
+	sys, nodes, err := newSystem(2)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+
+	cap, err := nodes[0].CreateObject("bench.echo")
+	if err != nil {
+		return nil, err
+	}
+	// Warm the remote hint cache so E1 measures invocation, not
+	// location (location is E7's subject).
+	if _, err := nodes[1].Invoke(cap, "echo", nil, nil, nil); err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:         "E1",
+		Title:      "invocation latency vs payload size (median of 300, µs)",
+		Prediction: "local invocation is cheap and size-insensitive; remote pays ~2 network hops and grows with payload",
+		Columns:    []string{"payload", "local µs", "remote µs", "remote/local"},
+		Notes:      fmt.Sprintf("in-process mesh with %v injected per-hop latency", netLatency),
+	}
+	for _, size := range []int{64, 1024, 16 * 1024, 64 * 1024} {
+		payload := make([]byte, size)
+		const iters = 300
+		local, _, _, err := measure(iters, func() error {
+			_, err := nodes[0].Invoke(cap, "echo", payload, nil, nil)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		remote, _, _, err := measure(iters, func() error {
+			_, err := nodes[1].Invoke(cap, "echo", payload, nil, nil)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		ratio := float64(remote) / float64(local)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d B", size), us(local), us(remote), fmt.Sprintf("%.1fx", ratio),
+		})
+	}
+	return t, nil
+}
+
+// RunE2 measures throughput through an invocation class as its
+// concurrency limit varies, with a fixed service time per invocation.
+func RunE2() (*Table, error) {
+	const serviceTime = 2 * time.Millisecond
+	const invokers = 16
+	const perInvoker = 25
+
+	t := &Table{
+		ID:         "E2",
+		Title:      "throughput vs invocation-class limit (16 invokers, 2 ms service time)",
+		Prediction: "throughput scales with the class limit until invokers are the bottleneck; limit 1 serializes (~500 ops/s)",
+		Columns:    []string{"class limit", "ops/s", "ideal ops/s", "efficiency"},
+	}
+	for _, limit := range []int{1, 2, 4, 8, 0} {
+		sys, nodes, err := newSystem(1)
+		if err != nil {
+			return nil, err
+		}
+		tm := eden.NewType(fmt.Sprintf("bench.class%d", limit))
+		if limit > 0 {
+			tm.Limit("work", limit)
+		}
+		tm.Op(eden.Operation{
+			Name:  "work",
+			Class: "work",
+			Handler: func(c *eden.Call) {
+				time.Sleep(serviceTime)
+			},
+		})
+		if err := sys.RegisterType(tm); err != nil {
+			sys.Close()
+			return nil, err
+		}
+		cap, err := nodes[0].CreateObject(tm.Name)
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+
+		start := time.Now()
+		var wg sync.WaitGroup
+		var failures atomic.Int64
+		for w := 0; w < invokers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perInvoker; i++ {
+					if _, err := nodes[0].Invoke(cap, "work", nil, nil, &eden.InvokeOptions{Timeout: 60 * time.Second}); err != nil {
+						failures.Add(1)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		sys.Close()
+		if failures.Load() > 0 {
+			return nil, fmt.Errorf("E2: %d invocations failed", failures.Load())
+		}
+
+		total := invokers * perInvoker
+		ops := float64(total) / elapsed.Seconds()
+		eff := limit
+		if eff == 0 || eff > invokers {
+			eff = invokers
+		}
+		ideal := float64(eff) / serviceTime.Seconds()
+		label := fmt.Sprint(limit)
+		if limit == 0 {
+			label = "unlimited"
+		}
+		t.Rows = append(t.Rows, []string{
+			label,
+			fmt.Sprintf("%.0f", ops),
+			fmt.Sprintf("%.0f", ideal),
+			fmt.Sprintf("%.0f%%", 100*ops/ideal),
+		})
+	}
+	return t, nil
+}
+
+// RunE3 measures checkpoint cost versus representation size and
+// placement policy, and reincarnation latency.
+func RunE3() (*Table, error) {
+	sys, nodes, err := newSystem(2)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+
+	t := &Table{
+		ID:         "E3",
+		Title:      "checkpoint cost vs representation size and policy; reincarnation latency (median, µs)",
+		Prediction: "checkpoint cost grows with size; remote/replicated policies add network hops; an incremental checkpoint of a small delta ships ~constant bytes regardless of size; reincarnation ≈ decode + handler",
+		Columns:    []string{"rep size", "ckpt local µs", "ckpt remote µs", "ckpt replicated µs", "ship bytes full", "ship bytes incr", "reincarnate µs"},
+	}
+	for _, size := range []int{1 << 10, 16 << 10, 256 << 10, 1 << 20} {
+		cap, err := nodes[0].CreateObject("bench.echo")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := nodes[0].Invoke(cap, "store", make([]byte, size), nil, nil); err != nil {
+			return nil, err
+		}
+		obj, err := nodes[0].Object(cap.ID())
+		if err != nil {
+			return nil, err
+		}
+
+		iters := 40
+		if size >= 256<<10 {
+			iters = 10
+		}
+		var med [3]time.Duration
+		for i, policy := range []func() error{
+			func() error { return obj.SetChecksite(eden.RelLocal) },
+			func() error { return obj.SetChecksite(eden.RelRemote, nodes[1].Num()) },
+			func() error { return obj.SetChecksite(eden.RelReplicated, nodes[1].Num()) },
+		} {
+			if err := policy(); err != nil {
+				return nil, err
+			}
+			med[i], _, _, err = measure(iters, obj.Checkpoint)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		// Incremental remote checkpoints: after a full base shipment, a
+		// checkpoint whose delta is one small segment ships ~constant
+		// bytes regardless of representation size. Bytes are measured
+		// (noise-free) rather than wall time, on a fresh object so the
+		// first shipment is genuinely full.
+		cap2, err := nodes[0].CreateObject("bench.echo")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := nodes[0].Invoke(cap2, "store", make([]byte, size), nil, nil); err != nil {
+			return nil, err
+		}
+		obj2, err := nodes[0].Object(cap2.ID())
+		if err != nil {
+			return nil, err
+		}
+		if err := obj2.SetChecksite(eden.RelRemote, nodes[1].Num()); err != nil {
+			return nil, err
+		}
+		sys.ResetNetworkStats()
+		if err := obj2.Checkpoint(); err != nil { // full: the site has no base
+			return nil, err
+		}
+		fullBytes := sys.NetworkStats().Bytes
+		if _, err := nodes[0].Invoke(cap2, "store-small", u64(1), nil, nil); err != nil {
+			return nil, err
+		}
+		sys.ResetNetworkStats()
+		if err := obj2.Checkpoint(); err != nil { // incremental delta
+			return nil, err
+		}
+		incrBytes := sys.NetworkStats().Bytes
+
+		// Reincarnation: passivate then cold-invoke, repeatedly.
+		if err := obj.SetChecksite(eden.RelLocal); err != nil {
+			return nil, err
+		}
+		reinc, _, _, err := measure(iters, func() error {
+			o, err := nodes[0].Object(cap.ID())
+			if err != nil {
+				return err
+			}
+			if err := o.Passivate(); err != nil {
+				return err
+			}
+			_, err = nodes[0].Invoke(cap, "echo", nil, nil, nil)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d KB", size/1024), us(med[0]), us(med[1]), us(med[2]),
+			fmt.Sprint(fullBytes), fmt.Sprint(incrBytes), us(reinc),
+		})
+	}
+	return t, nil
+}
+
+// RunE4 measures what frozen-object replication buys: read latency and
+// network frames with and without cached replicas.
+func RunE4() (*Table, error) {
+	const readers = 4
+	const readsPerNode = 200
+
+	t := &Table{
+		ID:         "E4",
+		Title:      "frozen-object replication: 4 reader nodes, 200 reads each",
+		Prediction: "replication turns remote reads into local ones: latency collapses and network frames drop to ~zero",
+		Columns:    []string{"configuration", "median read µs", "network frames", "remote invokes"},
+	}
+	for _, replicated := range []bool{false, true} {
+		sys, nodes, err := newSystem(readers + 1)
+		if err != nil {
+			return nil, err
+		}
+		home := nodes[0]
+		cap, err := home.CreateObject("bench.echo")
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+		if _, err := home.Invoke(cap, "store", make([]byte, 4096), nil, nil); err != nil {
+			sys.Close()
+			return nil, err
+		}
+		obj, err := home.Object(cap.ID())
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+		if err := obj.Freeze(); err != nil {
+			sys.Close()
+			return nil, err
+		}
+		if replicated {
+			var sites []uint32
+			for _, n := range nodes[1:] {
+				sites = append(sites, n.Num())
+			}
+			if err := obj.Replicate(sites...); err != nil {
+				sys.Close()
+				return nil, err
+			}
+		}
+		// Warm location hints.
+		for _, n := range nodes[1:] {
+			if _, err := n.Invoke(cap, "echo", nil, nil, &eden.InvokeOptions{AllowReplica: true}); err != nil {
+				sys.Close()
+				return nil, err
+			}
+		}
+		sys.ResetNetworkStats()
+
+		var medians []time.Duration
+		var remoteInvokes int64
+		for _, n := range nodes[1:] {
+			n := n
+			med, _, _, err := measure(readsPerNode, func() error {
+				_, err := n.Invoke(cap, "echo", nil, nil, &eden.InvokeOptions{AllowReplica: true})
+				return err
+			})
+			if err != nil {
+				sys.Close()
+				return nil, err
+			}
+			medians = append(medians, med)
+			remoteInvokes += n.Kernel().Stats().RemoteInvokes
+		}
+		frames := sys.NetworkStats().Frames
+		sys.Close()
+
+		var sum time.Duration
+		for _, m := range medians {
+			sum += m
+		}
+		label := "home only (remote reads)"
+		if replicated {
+			label = "replicated at every reader"
+		}
+		t.Rows = append(t.Rows, []string{
+			label, us(sum / time.Duration(len(medians))), fmt.Sprint(frames), fmt.Sprint(remoteInvokes),
+		})
+	}
+	return t, nil
+}
+
+// RunE5 measures object mobility: the cost of move versus
+// representation size, and invocation latency through the forwarding
+// chain before hints repair.
+func RunE5() (*Table, error) {
+	t := &Table{
+		ID:         "E5",
+		Title:      "object mobility: move cost vs size; post-move invocation routing (µs)",
+		Prediction: "move cost is dominated by shipping the representation; the first post-move invocation pays a forwarding chase, later ones don't",
+		Columns:    []string{"rep size", "move µs", "pre-move invoke µs", "1st post-move µs", "steady post-move µs"},
+	}
+	for _, size := range []int{1 << 10, 64 << 10, 1 << 20} {
+		sys, nodes, err := newSystem(3)
+		if err != nil {
+			return nil, err
+		}
+		src, dst, client := nodes[0], nodes[1], nodes[2]
+		cap, err := src.CreateObject("bench.echo")
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+		if _, err := src.Invoke(cap, "store", make([]byte, size), nil, nil); err != nil {
+			sys.Close()
+			return nil, err
+		}
+		pre, _, _, err := measure(100, func() error {
+			_, err := client.Invoke(cap, "echo", nil, nil, nil)
+			return err
+		})
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+
+		obj, err := src.Object(cap.ID())
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+		mvStart := time.Now()
+		if err := <-obj.Move(dst.Num()); err != nil {
+			sys.Close()
+			return nil, err
+		}
+		moveCost := time.Since(mvStart)
+
+		// First invocation chases the forwarding pointer through the
+		// old home.
+		firstStart := time.Now()
+		if _, err := client.Invoke(cap, "echo", nil, nil, nil); err != nil {
+			sys.Close()
+			return nil, err
+		}
+		first := time.Since(firstStart)
+
+		steady, _, _, err := measure(100, func() error {
+			_, err := client.Invoke(cap, "echo", nil, nil, nil)
+			return err
+		})
+		sys.Close()
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d KB", size/1024), us(moveCost), us(pre), us(first), us(steady),
+		})
+	}
+	return t, nil
+}

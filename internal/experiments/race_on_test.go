@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation distorts the timing relationships
+// the shape tests assert.
+const raceEnabled = true

@@ -1,0 +1,44 @@
+package kernel
+
+import "errors"
+
+// Sentinel errors reported by the kernel. Invocation outcomes travel
+// as msg.Status on the wire; these errors are their caller-side form
+// plus purely local failures.
+var (
+	// ErrNoSuchObject reports an invocation of (or operation on) an
+	// object no node admits to hosting.
+	ErrNoSuchObject = errors.New("kernel: no such object")
+	// ErrNoSuchType reports a reference to an unregistered type.
+	ErrNoSuchType = errors.New("kernel: no such type")
+	// ErrNoSuchOperation reports an operation the target's type does
+	// not define.
+	ErrNoSuchOperation = errors.New("kernel: no such operation")
+	// ErrRights reports a capability lacking the rights an operation
+	// requires.
+	ErrRights = errors.New("kernel: insufficient rights")
+	// ErrTimeout reports that an invocation's user-supplied time limit
+	// expired before completion.
+	ErrTimeout = errors.New("kernel: invocation timed out")
+	// ErrCrashed reports that the target crashed while the invocation
+	// was in progress.
+	ErrCrashed = errors.New("kernel: object crashed")
+	// ErrFrozen reports an attempted mutation of a frozen object's
+	// representation.
+	ErrFrozen = errors.New("kernel: object is frozen")
+	// ErrNotFrozen reports replication of an object that has not been
+	// frozen first.
+	ErrNotFrozen = errors.New("kernel: object is not frozen")
+	// ErrMoving reports an operation that cannot proceed because the
+	// object is mid-move.
+	ErrMoving = errors.New("kernel: object is moving")
+	// ErrClosed reports use of a kernel that has shut down (or whose
+	// node has crashed).
+	ErrClosed = errors.New("kernel: node is down")
+	// ErrInvocationFailed wraps an application-level failure reported
+	// by the operation handler via Call.Fail.
+	ErrInvocationFailed = errors.New("kernel: operation failed")
+	// ErrNoCheckpoint reports passivation or recovery of an object
+	// that has never checkpointed.
+	ErrNoCheckpoint = errors.New("kernel: object has no checkpoint")
+)

@@ -1,0 +1,454 @@
+package kernel
+
+import (
+	"fmt"
+	"time"
+
+	"eden/internal/capability"
+	"eden/internal/locator"
+	"eden/internal/msg"
+	"eden/internal/rights"
+)
+
+// Reply is the outcome of an invocation: "the object executes the
+// request and responds with status and return parameters".
+type Reply struct {
+	// Data carries the data results.
+	Data []byte
+	// Caps carries the capability results.
+	Caps capability.List
+}
+
+// InvokeOptions tunes one invocation.
+type InvokeOptions struct {
+	// Timeout is the user-supplied time limit; zero uses the node
+	// default. "The invocation request may also contain a
+	// user-supplied timeout."
+	Timeout time.Duration
+	// AllowReplica permits serving the invocation from a cached
+	// frozen replica. Only read-only operations succeed there; a
+	// replica bounces anything else to the home node transparently.
+	AllowReplica bool
+}
+
+// maxHops bounds forwarding chases after moves.
+const maxHops = 8
+
+// servedCacheSize bounds the reply-deduplication cache: the most
+// recent completed remote invocations whose replies are replayed if
+// the invoker retransmits (reply lost, invoker timed out early).
+const servedCacheSize = 4096
+
+// servedKey identifies one logical remote invocation.
+type servedKey struct {
+	from uint32
+	corr uint64
+}
+
+// servedEntry is a dedup slot: while the first execution runs, done is
+// open and retries wait on it; afterwards rep holds the reply to
+// replay.
+type servedEntry struct {
+	done chan struct{}
+	rep  msg.InvokeRep
+}
+
+// Invoke performs a synchronous invocation: "parameters are passed and
+// the caller's thread of control is suspended pending completion".
+// The kernel locates the target — local fast path, hint cache,
+// broadcast, or failure recovery from a checkpoint backup — and
+// forwards the request.
+func (k *Kernel) Invoke(target capability.Capability, operation string, data []byte, caps capability.List, opts *InvokeOptions) (Reply, error) {
+	if target.IsNull() {
+		return Reply{}, fmt.Errorf("%w: null capability", ErrNoSuchObject)
+	}
+	if !target.Has(rights.Invoke) {
+		return Reply{}, fmt.Errorf("%w: capability lacks invoke right", ErrRights)
+	}
+	var o InvokeOptions
+	if opts != nil {
+		o = *opts
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = k.cfg.DefaultTimeout
+	}
+	deadline := time.Now().Add(o.Timeout)
+
+	req := msg.InvokeReq{
+		Target:       target,
+		Operation:    operation,
+		Data:         data,
+		Caps:         caps,
+		TimeoutNanos: int64(o.Timeout),
+	}
+	return k.invoke(req, o.AllowReplica, deadline)
+}
+
+// invoke routes one invocation, chasing moves and falling back to
+// recovery, until the deadline. One correlation id is allocated per
+// *logical* invocation and reused across retransmissions, so the
+// serving kernel can deduplicate re-executions.
+func (k *Kernel) invoke(req msg.InvokeReq, allowReplica bool, deadline time.Time) (Reply, error) {
+	id := req.Target.ID()
+	corr := k.corr.Add(1)
+	triedRecovery := false
+	for hop := 0; hop < maxHops; hop++ {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return Reply{}, ErrTimeout
+		}
+
+		// Local fast path: the target is (or can become) active here.
+		if rep, served, err := k.tryLocal(req, allowReplica, false, remaining); served {
+			if err != nil {
+				return Reply{}, err
+			}
+			if rep.Status == msg.StatusMoved {
+				if dest, ok := movedDest(rep); ok {
+					k.loc.Forget(id)
+					k.loc.Learn(id, dest, false)
+					k.stChases.Add(1)
+					allowReplica = false
+					continue
+				}
+				return Reply{}, ErrNoSuchObject
+			}
+			return replyFrom(rep)
+		}
+
+		// Locate the target elsewhere. Location answers arrive within
+		// a round trip, so the broadcast wait is bounded separately
+		// from the invocation budget.
+		ltimeout := remaining
+		if ltimeout > k.loc.DefaultTimeout {
+			ltimeout = k.loc.DefaultTimeout
+		}
+		var loc locator.Location
+		var err error
+		if allowReplica {
+			loc, err = k.loc.LookupAny(id, ltimeout)
+		} else {
+			loc, err = k.loc.Lookup(id, ltimeout)
+		}
+		if err != nil {
+			// Nobody answered: the home may have failed. Run the
+			// recovery protocol once — a checkpoint backup site will
+			// claim the object and reincarnate it.
+			if !triedRecovery {
+				triedRecovery = true
+				rtimeout := time.Until(deadline)
+				if rtimeout > k.loc.DefaultTimeout {
+					rtimeout = k.loc.DefaultTimeout
+				}
+				if rl, rerr := k.loc.Recover(id, rtimeout); rerr == nil {
+					k.loc.Learn(id, rl.Node, false)
+					continue
+				}
+			}
+			return Reply{}, fmt.Errorf("%w: %v", ErrNoSuchObject, id)
+		}
+
+		// A cached hint may point at a dead or stale node; probe it
+		// with a bounded slice of the budget so a wrong hint cannot
+		// consume the caller's whole timeout. A freshly confirmed
+		// location gets the full remainder.
+		attempt := time.Until(deadline)
+		if !loc.Fresh {
+			if probe := attempt / 2; probe < attempt {
+				attempt = probe
+			}
+			if attempt > time.Second {
+				attempt = time.Second
+			}
+		}
+		rep, err := k.invokeRemote(loc.Node, corr, req, attempt)
+		if err != nil {
+			// The hinted node may be stale or down; drop the hint and
+			// retry through location.
+			k.loc.Forget(id)
+			if time.Until(deadline) <= 0 {
+				return Reply{}, ErrTimeout
+			}
+			continue
+		}
+		if rep.Status == msg.StatusMoved {
+			if dest, ok := movedDest(rep); ok {
+				k.loc.Forget(id)
+				k.loc.Learn(id, dest, false)
+				k.stChases.Add(1)
+				// The bounce directs us at the home; replicas are no
+				// longer acceptable (a local replica would bounce the
+				// same request forever).
+				allowReplica = false
+				continue
+			}
+			return Reply{}, ErrNoSuchObject
+		}
+		if rep.Status == msg.StatusNoSuchObject {
+			// Stale hint: that node no longer hosts the target.
+			k.loc.Forget(id)
+			continue
+		}
+		return replyFrom(rep)
+	}
+	return Reply{}, fmt.Errorf("%w: forwarding chain exceeded %d hops", ErrNoSuchObject, maxHops)
+}
+
+func replyFrom(rep msg.InvokeRep) (Reply, error) {
+	if err := errFromStatus(rep.Status, rep.Data); err != nil {
+		return Reply{}, err
+	}
+	return Reply{Data: rep.Data, Caps: rep.Caps}, nil
+}
+
+// tryLocal serves the invocation on this node if the target is active,
+// passive, a forwarded ghost, or (when permitted) a cached replica
+// here. served reports whether the invocation was handled locally.
+// remoteOrigin marks requests that arrived over the wire: those get a
+// StatusMoved bounce from a forwarding pointer, while locally
+// originated invocations fall through to the locator (bouncing them
+// here would loop on this node's own forward).
+func (k *Kernel) tryLocal(req msg.InvokeReq, allowReplica, remoteOrigin bool, timeout time.Duration) (msg.InvokeRep, bool, error) {
+	id := req.Target.ID()
+	k.mu.Lock()
+	if k.closed {
+		k.mu.Unlock()
+		return msg.InvokeRep{}, true, ErrClosed
+	}
+	obj, isActive := k.active[id]
+	fwd, isFwd := k.forwards[id]
+	var replica *Object
+	if allowReplica {
+		replica = k.replicas[id]
+	}
+	isBackup := k.backups[id]
+	k.mu.Unlock()
+
+	switch {
+	case isActive:
+	case isFwd:
+		if remoteOrigin {
+			return movedReply(fwd), true, nil
+		}
+		// Locally originated: fall through to the locator. The local
+		// forwarding pointer is deliberately NOT cached as a hint here:
+		// it may be stale (the object moved on), and re-learning it on
+		// every retry would clobber the fresher hints the chase
+		// produces, bouncing forever between two old homes.
+		_ = fwd
+		return msg.InvokeRep{}, false, nil
+	case replica != nil:
+		obj = replica
+	default:
+		// Passive here? Only if our store holds the object's home
+		// record (not a backup held for another node).
+		if _, err := k.store.Get(id); err != nil || isBackup {
+			return msg.InvokeRep{}, false, nil
+		}
+		var aerr error
+		obj, aerr = k.activate(id)
+		if aerr != nil {
+			return msg.InvokeRep{Status: msg.StatusCrashed, Data: []byte(aerr.Error())}, true, nil
+		}
+	}
+	k.stLocal.Add(1)
+	rep, err := k.dispatch(obj, req, timeout)
+	return rep, true, err
+}
+
+// dispatch hands one call to an object's coordinator and awaits the
+// reply, honoring the node's virtual processor budget.
+func (k *Kernel) dispatch(obj *Object, req msg.InvokeReq, timeout time.Duration) (msg.InvokeRep, error) {
+	if k.vprocs != nil {
+		// The node has a fixed pool of virtual processors; handler
+		// execution beyond it queues here.
+		select {
+		case k.vprocs <- struct{}{}:
+			defer func() { <-k.vprocs }()
+		case <-time.After(timeout):
+			return msg.InvokeRep{Status: msg.StatusTimeout}, nil
+		}
+	}
+	c := &callCtx{
+		op:      req.Operation,
+		data:    req.Data,
+		caps:    req.Caps,
+		rts:     req.Target.Rights(),
+		replyCh: make(chan msg.InvokeRep, 1),
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case obj.inbox <- c:
+	case <-obj.down:
+		return k.retryAfterDown(obj, req)
+	case <-timer.C:
+		return msg.InvokeRep{Status: msg.StatusTimeout}, nil
+	}
+	select {
+	case rep := <-c.replyCh:
+		return rep, nil
+	case <-timer.C:
+		// "The invoker wishes to be notified if the invocation is not
+		// completed within some time limit." The process may still
+		// complete; only the caller stops waiting.
+		return msg.InvokeRep{Status: msg.StatusTimeout}, nil
+	}
+}
+
+// retryAfterDown resolves a dispatch race where the incarnation died
+// between lookup and enqueue: the object may have moved, passivated,
+// or crashed.
+func (k *Kernel) retryAfterDown(obj *Object, req msg.InvokeReq) (msg.InvokeRep, error) {
+	k.mu.Lock()
+	fwd, isFwd := k.forwards[obj.id]
+	k.mu.Unlock()
+	if isFwd {
+		return movedReply(fwd), nil
+	}
+	return msg.InvokeRep{Status: msg.StatusCrashed}, nil
+}
+
+// invokeRemote ships the request to another node's kernel and awaits
+// its reply envelope. corr identifies the logical invocation across
+// retries (the receiver deduplicates on it).
+func (k *Kernel) invokeRemote(node uint32, corr uint64, req msg.InvokeReq, timeout time.Duration) (msg.InvokeRep, error) {
+	if timeout <= 0 {
+		return msg.InvokeRep{}, ErrTimeout
+	}
+	ch := make(chan msg.InvokeRep, 1)
+	k.pendMu.Lock()
+	k.pend[corr] = ch
+	k.pendMu.Unlock()
+	defer func() {
+		k.pendMu.Lock()
+		delete(k.pend, corr)
+		k.pendMu.Unlock()
+	}()
+
+	req.TimeoutNanos = int64(timeout)
+	env := msg.Envelope{
+		Kind:    msg.KindInvokeReq,
+		To:      node,
+		Corr:    corr,
+		Payload: req.Encode(nil),
+	}
+	k.stRemote.Add(1)
+	if err := k.tr.Send(env); err != nil {
+		return msg.InvokeRep{}, fmt.Errorf("kernel: send to node %d: %w", node, err)
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case rep := <-ch:
+		return rep, nil
+	case <-timer.C:
+		return msg.InvokeRep{}, ErrTimeout
+	}
+}
+
+// serveInvoke executes an invocation received from another node and
+// sends the reply envelope back. Retransmissions of an invocation
+// already executed (or executing) do not run the operation again: the
+// first execution's reply is replayed, giving at-most-once execution
+// per logical invocation.
+func (k *Kernel) serveInvoke(env msg.Envelope) {
+	req, err := msg.DecodeInvokeReq(env.Payload)
+	if err != nil {
+		return // corrupt frame; the invoker will time out and retry
+	}
+	timeout := time.Duration(req.TimeoutNanos)
+	if timeout <= 0 {
+		timeout = k.cfg.DefaultTimeout
+	}
+
+	key := servedKey{from: env.From, corr: env.Corr}
+	k.servedMu.Lock()
+	if entry, dup := k.served[key]; dup {
+		k.servedMu.Unlock()
+		// Retransmission: wait out the original execution if it is
+		// still running, then replay its reply.
+		select {
+		case <-entry.done:
+			_ = k.tr.Send(msg.Envelope{
+				Kind:    msg.KindInvokeRep,
+				To:      env.From,
+				Corr:    env.Corr,
+				Payload: entry.rep.Encode(nil),
+			})
+		case <-time.After(timeout):
+		}
+		return
+	}
+	entry := &servedEntry{done: make(chan struct{})}
+	k.served[key] = entry
+	k.servedLog = append(k.servedLog, key)
+	for len(k.servedLog) > servedCacheSize {
+		delete(k.served, k.servedLog[0])
+		k.servedLog = k.servedLog[1:]
+	}
+	k.servedMu.Unlock()
+
+	k.stServed.Add(1)
+	rep, served, derr := k.serveLocally(req, timeout)
+	if derr != nil {
+		rep = msg.InvokeRep{Status: msg.StatusCrashed, Data: []byte(derr.Error())}
+	} else if !served {
+		rep = msg.InvokeRep{Status: msg.StatusNoSuchObject}
+	}
+	k.servedMu.Lock()
+	entry.rep = rep
+	k.servedMu.Unlock()
+	close(entry.done)
+	// Routing outcomes must not stick in the dedup cache: a "not
+	// here" or "moved" answer may legitimately differ on the next
+	// retry (after recovery or another move), so only executed
+	// operations are deduplicated.
+	if rep.Status == msg.StatusNoSuchObject || rep.Status == msg.StatusMoved {
+		k.servedMu.Lock()
+		delete(k.served, key)
+		k.servedMu.Unlock()
+	}
+	_ = k.tr.Send(msg.Envelope{
+		Kind:    msg.KindInvokeRep,
+		To:      env.From,
+		Corr:    env.Corr,
+		Payload: rep.Encode(nil),
+	})
+}
+
+// serveLocally is tryLocal for requests arriving over the wire: a
+// remote invoker may be sent here for a replica, so replicas always
+// qualify.
+func (k *Kernel) serveLocally(req msg.InvokeReq, timeout time.Duration) (msg.InvokeRep, bool, error) {
+	return k.tryLocal(req, true, true, timeout)
+}
+
+// Pending is an asynchronous invocation in flight. "Asynchronous
+// invocation also will be possible" — Wait collects the outcome.
+type Pending struct {
+	ch chan pendingResult
+}
+
+type pendingResult struct {
+	rep Reply
+	err error
+}
+
+// Wait blocks until the invocation completes and returns its outcome.
+// It may be called once.
+func (p *Pending) Wait() (Reply, error) {
+	r := <-p.ch
+	return r.rep, r.err
+}
+
+// InvokeAsync starts an invocation without suspending the caller; the
+// returned Pending collects the reply.
+func (k *Kernel) InvokeAsync(target capability.Capability, operation string, data []byte, caps capability.List, opts *InvokeOptions) *Pending {
+	p := &Pending{ch: make(chan pendingResult, 1)}
+	go func() {
+		rep, err := k.Invoke(target, operation, data, caps, opts)
+		p.ch <- pendingResult{rep: rep, err: err}
+	}()
+	return p
+}

@@ -1,0 +1,560 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eden/internal/capability"
+	"eden/internal/edenid"
+	"eden/internal/locator"
+	"eden/internal/msg"
+	"eden/internal/rights"
+	"eden/internal/segment"
+	"eden/internal/store"
+	"eden/internal/transport"
+)
+
+// Config describes one Eden node: the abstraction that "supplies
+// virtual memory to store the segments of active objects and virtual
+// processors to execute invocations", plus the hardware inventory of
+// the paper's default node machine (used by the figure renderer).
+type Config struct {
+	// Node is the node number; it must be unique in the system.
+	Node uint32
+	// Name labels the node in diagnostics and figures (e.g. "office
+	// node", "file server").
+	Name string
+	// VirtualProcessors bounds how many invocation handler processes
+	// execute truly concurrently on this node (the paper's GDPs
+	// supply "virtual processors"). 0 means unbounded.
+	VirtualProcessors int
+	// MemoryBytes is the node's virtual memory budget for active
+	// representations; 0 means unbounded. Exceeding it makes new
+	// activations fail until objects passivate — or, with
+	// EvictOnPressure, transparently passivates idle objects to make
+	// room.
+	MemoryBytes int64
+	// EvictOnPressure makes the kernel passivate (checkpoint +
+	// deactivate) the least-recently-invoked idle objects when an
+	// activation would exceed MemoryBytes — the complete "single-level
+	// memory" illusion: users never see the paging, objects
+	// reincarnate on their next invocation.
+	EvictOnPressure bool
+	// GDPs, IPs, Satellites describe the node machine for Figure 2;
+	// they have no behavioral effect beyond VirtualProcessors.
+	GDPs, IPs  int
+	Satellites []string
+	// DefaultTimeout bounds invocations that pass no timeout.
+	DefaultTimeout time.Duration
+}
+
+// DefaultConfig returns the paper's default Eden node machine: two
+// GDPs, 1M bytes of memory, two IP/satellite pairs.
+func DefaultConfig(node uint32, name string) Config {
+	return Config{
+		Node:              node,
+		Name:              name,
+		VirtualProcessors: 0, // unbounded by default; set 2 to model GDPs strictly
+		GDPs:              2,
+		IPs:               2,
+		Satellites:        []string{"display+keyboard+mouse", "disk+ethernet"},
+		MemoryBytes:       0,
+		DefaultTimeout:    5 * time.Second,
+	}
+}
+
+// Stats counts kernel activity, for the experiment suite.
+type Stats struct {
+	// LocalInvokes counts invocations satisfied without the network.
+	LocalInvokes int64
+	// RemoteInvokes counts invocations sent to another node.
+	RemoteInvokes int64
+	// ServedInvokes counts invocations executed here for remote
+	// invokers.
+	ServedInvokes int64
+	// MovedChases counts StatusMoved bounces followed.
+	MovedChases int64
+	// Reincarnations counts passive->active transitions.
+	Reincarnations int64
+	// Checkpoints counts checkpoint operations completed.
+	Checkpoints int64
+	// CheckpointBytes counts representation bytes checkpointed.
+	CheckpointBytes int64
+	// IncrementalCheckpoints counts checkpoints shipped to a remote
+	// site as a segment delta rather than the full representation.
+	IncrementalCheckpoints int64
+	// Moves counts objects shipped away from this node.
+	Moves int64
+	// ReplicasInstalled counts frozen replicas cached here.
+	ReplicasInstalled int64
+	// Evictions counts objects passivated by memory pressure.
+	Evictions int64
+}
+
+// checksitePolicy records where and how reliably an object keeps its
+// long-term state.
+type checksitePolicy struct {
+	level Reliability
+	sites []uint32 // remote checksites (for RelRemote/RelReplicated)
+}
+
+// Reliability is the paper's per-object reliability level: "an object
+// may specify, through the checksite primitive, which node is
+// responsible for maintaining its long-term storage, and what level of
+// reliability is required."
+type Reliability uint8
+
+const (
+	// RelLocal stores checkpoints only in the home node's store.
+	RelLocal Reliability = iota
+	// RelRemote stores checkpoints only at a designated remote
+	// checksite.
+	RelRemote
+	// RelReplicated stores checkpoints locally and at every designated
+	// remote checksite.
+	RelReplicated
+)
+
+// String names the reliability level.
+func (r Reliability) String() string {
+	switch r {
+	case RelLocal:
+		return "local"
+	case RelRemote:
+		return "remote"
+	case RelReplicated:
+		return "replicated"
+	default:
+		return fmt.Sprintf("reliability(%d)", uint8(r))
+	}
+}
+
+// Kernel is one node's Eden kernel.
+type Kernel struct {
+	cfg   Config
+	tr    transport.Transport
+	types *Registry
+	loc   *locator.Locator
+	gen   *edenid.Generator
+	store store.Store
+
+	mu       sync.Mutex
+	active   map[edenid.ID]*Object
+	replicas map[edenid.ID]*Object
+	forwards map[edenid.ID]uint32 // moved-away objects -> new home
+	sites    map[edenid.ID]checksitePolicy
+	shipped  map[edenid.ID]map[uint32]uint64 // checkpoint version last acked per remote site
+	backups  map[edenid.ID]bool              // records held for other nodes' objects
+	memInUse int64
+	closed   bool
+
+	pendMu sync.Mutex
+	pend   map[uint64]chan msg.InvokeRep
+	corr   atomic.Uint64
+
+	// served deduplicates re-transmitted invocation requests so a
+	// retry after a lost reply does not re-execute the operation
+	// (at-most-once execution per logical invocation).
+	servedMu  sync.Mutex
+	served    map[servedKey]*servedEntry
+	servedLog []servedKey // FIFO eviction order
+
+	vprocs chan struct{} // virtual processor tokens (nil = unbounded)
+
+	stLocal, stRemote, stServed, stChases atomic.Int64
+	stReinc, stCkpt, stCkptBytes          atomic.Int64
+	stCkptIncr                            atomic.Int64
+	stMoves, stReplicas, stEvictions      atomic.Int64
+	tick                                  atomic.Int64 // recency counter for eviction
+	activationMu                          sync.Mutex   // serializes reincarnations
+}
+
+// New assembles a kernel from its substrates. types is typically
+// shared across all kernels of a system (homogeneous nodes); st is the
+// node's long-term store (nil gets an in-memory store).
+func New(cfg Config, tr transport.Transport, types *Registry, st store.Store) *Kernel {
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 5 * time.Second
+	}
+	if st == nil {
+		st = store.NewMemory()
+	}
+	k := &Kernel{
+		cfg:      cfg,
+		tr:       tr,
+		types:    types,
+		gen:      edenid.NewGenerator(cfg.Node),
+		store:    st,
+		active:   make(map[edenid.ID]*Object),
+		replicas: make(map[edenid.ID]*Object),
+		forwards: make(map[edenid.ID]uint32),
+		sites:    make(map[edenid.ID]checksitePolicy),
+		shipped:  make(map[edenid.ID]map[uint32]uint64),
+		backups:  make(map[edenid.ID]bool),
+		pend:     make(map[uint64]chan msg.InvokeRep),
+		served:   make(map[servedKey]*servedEntry),
+	}
+	if cfg.VirtualProcessors > 0 {
+		k.vprocs = make(chan struct{}, cfg.VirtualProcessors)
+	}
+	// Correlation ids identify logical invocations in peers' reply-
+	// deduplication caches; starting from a wall-clock epoch keeps a
+	// restarted node's fresh ids from colliding with its previous
+	// incarnation's entries (which would replay stale replies).
+	k.corr.Store(uint64(time.Now().UnixNano()))
+	k.loc = locator.New(cfg.Node, tr.Send, k.hostCheck)
+	tr.SetHandler(k.handleFrame)
+	return k
+}
+
+// Node returns the node number.
+func (k *Kernel) Node() uint32 { return k.cfg.Node }
+
+// Name returns the node's label.
+func (k *Kernel) Name() string { return k.cfg.Name }
+
+// Config returns the node's configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// Types returns the type registry the kernel dispatches against.
+func (k *Kernel) Types() *Registry { return k.types }
+
+// Locator exposes the node's location service (used by experiments to
+// read cache statistics).
+func (k *Kernel) Locator() *locator.Locator { return k.loc }
+
+// Stats returns cumulative activity counters.
+func (k *Kernel) Stats() Stats {
+	return Stats{
+		LocalInvokes:           k.stLocal.Load(),
+		RemoteInvokes:          k.stRemote.Load(),
+		ServedInvokes:          k.stServed.Load(),
+		MovedChases:            k.stChases.Load(),
+		Reincarnations:         k.stReinc.Load(),
+		Checkpoints:            k.stCkpt.Load(),
+		CheckpointBytes:        k.stCkptBytes.Load(),
+		IncrementalCheckpoints: k.stCkptIncr.Load(),
+		Moves:                  k.stMoves.Load(),
+		ReplicasInstalled:      k.stReplicas.Load(),
+		Evictions:              k.stEvictions.Load(),
+	}
+}
+
+// MemoryInUse returns the bytes of representation currently occupying
+// this node's virtual memory.
+func (k *Kernel) MemoryInUse() int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.memInUse
+}
+
+// ActiveObjects returns the IDs of objects with active incarnations on
+// this node (excluding replicas).
+func (k *Kernel) ActiveObjects() []edenid.ID {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]edenid.ID, 0, len(k.active))
+	for id := range k.active {
+		out = append(out, id)
+	}
+	return out
+}
+
+// hostCheck answers the locator's question: is this node the object's
+// home (active here, passive-with-checkpoint here, or — during
+// recovery — backed up here), or does it cache a frozen replica?
+func (k *Kernel) hostCheck(id edenid.ID, recover bool) (home, replica bool) {
+	k.mu.Lock()
+	if k.closed {
+		k.mu.Unlock()
+		return false, false
+	}
+	if _, ok := k.active[id]; ok {
+		k.mu.Unlock()
+		return true, false
+	}
+	_, isReplica := k.replicas[id]
+	if _, movedAway := k.forwards[id]; movedAway {
+		k.mu.Unlock()
+		return false, isReplica
+	}
+	isBackup := k.backups[id]
+	k.mu.Unlock()
+	// A passive object is homed where its checkpoint lives — unless
+	// that record is a backup held for another node, in which case it
+	// only counts during recovery.
+	if _, err := k.store.Get(id); err == nil {
+		if !isBackup {
+			return true, isReplica
+		}
+		if recover {
+			// Claiming the object during failure recovery promotes the
+			// backup: this node is now the home and will reincarnate
+			// the object on the next invocation.
+			k.mu.Lock()
+			delete(k.backups, id)
+			k.mu.Unlock()
+			return true, isReplica
+		}
+	}
+	return false, isReplica
+}
+
+// handleFrame demultiplexes inbound transport frames.
+func (k *Kernel) handleFrame(env msg.Envelope) {
+	switch env.Kind {
+	case msg.KindInvokeReq:
+		// Serving an invocation can block (class gates, nested
+		// invokes), so it gets its own goroutine.
+		go k.serveInvoke(env)
+	case msg.KindInvokeRep:
+		k.pendMu.Lock()
+		ch := k.pend[env.Corr]
+		k.pendMu.Unlock()
+		if ch != nil {
+			rep, err := msg.DecodeInvokeRep(env.Payload)
+			if err != nil {
+				return
+			}
+			select {
+			case ch <- rep:
+			default:
+			}
+		}
+	case msg.KindLocateReq:
+		k.loc.HandleRequest(env)
+	case msg.KindLocateRep:
+		k.loc.HandleReply(env)
+	case msg.KindShip:
+		go k.serveShip(env)
+	case msg.KindHello:
+		// Reserved for membership; nothing to do yet.
+	}
+}
+
+// CreateOptions tunes object creation.
+type CreateOptions struct {
+	// Checksite overrides the default checkpoint policy (local store).
+	Checksite *ChecksiteSpec
+}
+
+// ChecksiteSpec is the public form of a checkpoint placement policy.
+type ChecksiteSpec struct {
+	// Level is the reliability level.
+	Level Reliability
+	// Sites are the remote checksite node numbers (ignored for
+	// RelLocal).
+	Sites []uint32
+}
+
+// Create instantiates a new object of the named type on this node and
+// returns a capability carrying all rights ("creation of new types and
+// objects" is a kernel primitive; the creator holds full authority and
+// delegates by restriction). The type's Init hook, if any, runs before
+// the object accepts invocations.
+func (k *Kernel) Create(typeName string, opts *CreateOptions) (capability.Capability, error) {
+	tm, err := k.types.Lookup(typeName)
+	if err != nil {
+		return capability.Capability{}, err
+	}
+	k.mu.Lock()
+	if k.closed {
+		k.mu.Unlock()
+		return capability.Capability{}, ErrClosed
+	}
+	k.mu.Unlock()
+
+	id := k.gen.Next()
+	obj := k.newObject(id, tm, segment.New(), 0, false)
+	if tm.Init != nil {
+		if err := tm.Init(obj); err != nil {
+			return capability.Capability{}, fmt.Errorf("kernel: init of %q: %w", typeName, err)
+		}
+	}
+	if opts != nil && opts.Checksite != nil {
+		k.mu.Lock()
+		k.sites[id] = checksitePolicy{level: opts.Checksite.Level, sites: append([]uint32(nil), opts.Checksite.Sites...)}
+		k.mu.Unlock()
+	}
+	if err := k.install(obj); err != nil {
+		return capability.Capability{}, err
+	}
+	return capability.New(id, rights.All), nil
+}
+
+// install registers an active object and starts its coordinator,
+// charging its representation against the node's memory budget.
+func (k *Kernel) install(obj *Object) error {
+	size := int64(repSize(obj))
+	k.mu.Lock()
+	if k.closed {
+		k.mu.Unlock()
+		return ErrClosed
+	}
+	if k.cfg.MemoryBytes > 0 && k.memInUse+size > k.cfg.MemoryBytes && k.cfg.EvictOnPressure {
+		k.mu.Unlock()
+		k.evictUntil(k.cfg.MemoryBytes - size)
+		k.mu.Lock()
+	}
+	if k.cfg.MemoryBytes > 0 && k.memInUse+size > k.cfg.MemoryBytes {
+		k.mu.Unlock()
+		return fmt.Errorf("kernel: node %d out of virtual memory (%d + %d > %d)",
+			k.cfg.Node, k.memInUse, size, k.cfg.MemoryBytes)
+	}
+	if prev, dup := k.active[obj.id]; dup {
+		k.mu.Unlock()
+		_ = prev
+		return fmt.Errorf("kernel: object %v already active", obj.id)
+	}
+	k.active[obj.id] = obj
+	obj.charged.Store(size)
+	k.memInUse += size
+	delete(k.forwards, obj.id)
+	k.mu.Unlock()
+	go obj.coordinate()
+	return nil
+}
+
+// recharge adjusts the memory budget after an object's representation
+// changed size, and relieves pressure asynchronously if the node is
+// configured to evict. Only objects currently charged (installed)
+// are adjusted; replicas and mid-ship copies carry no charge.
+func (k *Kernel) recharge(obj *Object, newSize int64) {
+	if obj.replica {
+		return
+	}
+	k.mu.Lock()
+	if _, active := k.active[obj.id]; !active {
+		k.mu.Unlock()
+		return
+	}
+	delta := newSize - obj.charged.Load()
+	obj.charged.Store(newSize)
+	k.memInUse += delta
+	if k.memInUse < 0 {
+		k.memInUse = 0
+	}
+	over := k.cfg.MemoryBytes > 0 && k.cfg.EvictOnPressure && k.memInUse > k.cfg.MemoryBytes
+	budget := k.cfg.MemoryBytes
+	k.mu.Unlock()
+	if over {
+		// Asynchronous relief: the mutating handler keeps running;
+		// idle objects are paged out in the background.
+		go k.evictUntil(budget)
+	}
+}
+
+func repSize(obj *Object) int {
+	obj.mu.Lock()
+	defer obj.mu.Unlock()
+	return obj.rep.Size()
+}
+
+// lookupActive returns the local active incarnation, if any.
+func (k *Kernel) lookupActive(id edenid.ID) (*Object, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	o, ok := k.active[id]
+	return o, ok
+}
+
+// Object returns the local active incarnation of id, activating it
+// from a local checkpoint if necessary. It is how a node's hosting
+// layer gets at its own objects without an invocation.
+func (k *Kernel) Object(id edenid.ID) (*Object, error) {
+	if o, ok := k.lookupActive(id); ok {
+		return o, nil
+	}
+	return k.activate(id)
+}
+
+// Close shuts the kernel down without checkpointing anything —
+// equivalent to the node losing power. Passive state in the store
+// survives; everything active is lost, exactly as the paper specifies
+// for volatile state.
+func (k *Kernel) Close() error {
+	k.mu.Lock()
+	if k.closed {
+		k.mu.Unlock()
+		return nil
+	}
+	k.closed = true
+	objs := make([]*Object, 0, len(k.active)+len(k.replicas))
+	for _, o := range k.active {
+		objs = append(objs, o)
+	}
+	for _, o := range k.replicas {
+		objs = append(objs, o)
+	}
+	k.active = make(map[edenid.ID]*Object)
+	k.replicas = make(map[edenid.ID]*Object)
+	k.memInUse = 0
+	k.mu.Unlock()
+	for _, o := range objs {
+		o.destroyActiveState(0)
+	}
+	k.loc.Close()
+	// Fail outstanding remote invocations promptly.
+	k.pendMu.Lock()
+	for corr, ch := range k.pend {
+		select {
+		case ch <- msg.InvokeRep{Status: msg.StatusCrashed, Data: []byte("node closed")}:
+		default:
+		}
+		delete(k.pend, corr)
+	}
+	k.pendMu.Unlock()
+	return k.tr.Close()
+}
+
+// Closed reports whether the kernel has shut down.
+func (k *Kernel) Closed() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.closed
+}
+
+// errFromStatus converts a wire status to the caller-facing error.
+func errFromStatus(st msg.Status, data []byte) error {
+	switch st {
+	case msg.StatusOK:
+		return nil
+	case msg.StatusNoSuchObject:
+		return ErrNoSuchObject
+	case msg.StatusNoSuchOperation:
+		return fmt.Errorf("%w: %s", ErrNoSuchOperation, data)
+	case msg.StatusRights:
+		return fmt.Errorf("%w: %s", ErrRights, data)
+	case msg.StatusTimeout:
+		return ErrTimeout
+	case msg.StatusCrashed:
+		return ErrCrashed
+	case msg.StatusFrozen:
+		return fmt.Errorf("%w: %s", ErrFrozen, data)
+	case msg.StatusError:
+		return fmt.Errorf("%w: %s", ErrInvocationFailed, data)
+	default:
+		return errors.New("kernel: unexpected status " + st.String())
+	}
+}
+
+// DebugObjectState reports this kernel's bookkeeping for one object —
+// test and console diagnostics only.
+func (k *Kernel) DebugObjectState(id edenid.ID) string {
+	k.mu.Lock()
+	_, active := k.active[id]
+	fwd, hasFwd := k.forwards[id]
+	_, replica := k.replicas[id]
+	backup := k.backups[id]
+	k.mu.Unlock()
+	rec, err := k.store.Get(id)
+	stored := "no-record"
+	if err == nil {
+		stored = fmt.Sprintf("record-v%d", rec.Version)
+	}
+	return fmt.Sprintf("active=%v fwd=%v(%d) replica=%v backup=%v store=%s",
+		active, hasFwd, fwd, replica, backup, stored)
+}

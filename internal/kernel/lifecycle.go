@@ -1,0 +1,620 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"eden/internal/edenid"
+	"eden/internal/msg"
+	"eden/internal/segment"
+	"eden/internal/store"
+)
+
+// This file implements the active/passive object lifecycle: "objects
+// actually exist in two possible states: active and passive", with
+// checkpoint, crash, reincarnation, checksite, freeze/replicate and
+// move.
+
+// activate reincarnates a passive object from this node's store: "When
+// a passive object is 'reincarnated' into an active one, the kernel
+// creates a new coordinator process for the object. The coordinator
+// will block the invocation while it attempts to execute the object's
+// reincarnation condition handler."
+func (k *Kernel) activate(id edenid.ID) (*Object, error) {
+	k.activationMu.Lock()
+	defer k.activationMu.Unlock()
+	if o, ok := k.lookupActive(id); ok {
+		return o, nil // lost a benign race with another activation
+	}
+	// A record held as a backup for another node's object must not be
+	// activated here while that home may be alive — that would create
+	// a second incarnation. The failure-recovery protocol (locator
+	// Recover → hostCheck) promotes the backup first, clearing the
+	// flag, after which activation is legitimate.
+	k.mu.Lock()
+	isBackup := k.backups[id]
+	k.mu.Unlock()
+	if isBackup {
+		return nil, fmt.Errorf("%w: %v is a checksite backup (home may be alive)", ErrNoCheckpoint, id)
+	}
+	rec, err := k.store.Get(id)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoCheckpoint, err)
+	}
+	tm, err := k.types.Lookup(rec.TypeName)
+	if err != nil {
+		return nil, err
+	}
+	rep, rest, err := segment.Decode(rec.Rep)
+	if err != nil || len(rest) != 0 {
+		return nil, fmt.Errorf("kernel: corrupt checkpoint for %v: %v", id, err)
+	}
+	obj := k.newObject(id, tm, rep, rec.Version, rec.Frozen)
+	// The reincarnation condition handler runs before any invocation
+	// is dispatched; install() happens only after it succeeds.
+	if tm.Reincarnate != nil {
+		if err := tm.Reincarnate(obj); err != nil {
+			return nil, fmt.Errorf("kernel: reincarnation of %v failed: %w", id, err)
+		}
+	}
+	if err := k.install(obj); err != nil {
+		return nil, err
+	}
+	k.mu.Lock()
+	delete(k.backups, id) // we are now this object's home
+	k.mu.Unlock()
+	k.stReinc.Add(1)
+	return obj, nil
+}
+
+// Checkpoint records the object's long-term state on reliable storage
+// according to its checksite policy. "The type programmer must ensure
+// that the object's representation is in a consistent state at the
+// time the checkpoint is requested" — Checkpoint snapshots the
+// representation atomically with respect to Update, so any moment
+// between handler mutations is consistent.
+func (o *Object) Checkpoint() error {
+	o.mu.Lock()
+	if o.replica {
+		o.mu.Unlock()
+		return fmt.Errorf("kernel: replicas do not checkpoint")
+	}
+	o.version++
+	ver := o.version
+	encoded := o.rep.Encode(nil)
+	frozen := o.frozen
+	// Snapshot the dirty set for incremental shipping to remote
+	// checksites. Taking it leaves the representation clean; on
+	// failure it is merged back so nothing is lost.
+	taken := o.rep.TakeDirty()
+	changed, removed := segment.DirtyFromTaken(taken)
+	var partial []byte
+	if len(changed) > 0 {
+		partial = o.rep.EncodePartial(changed, nil)
+	} else {
+		partial = segment.New().Encode(nil)
+	}
+	o.mu.Unlock()
+
+	err := o.k.writeCheckpoint(o.id, o.tm.Name, ver, frozen, encoded, partial, removed)
+	if err == nil {
+		o.k.stCkpt.Add(1)
+		o.k.stCkptBytes.Add(int64(len(encoded)))
+		return nil
+	}
+	o.mu.Lock()
+	o.rep.RestoreDirty(taken)
+	o.mu.Unlock()
+	return err
+}
+
+// SetChecksite selects "which node is responsible for maintaining its
+// long-term storage, and what level of reliability is required".
+func (o *Object) SetChecksite(level Reliability, sites ...uint32) error {
+	if (level == RelRemote || level == RelReplicated) && len(sites) == 0 {
+		return fmt.Errorf("kernel: reliability %v needs at least one remote site", level)
+	}
+	k := o.k
+	k.mu.Lock()
+	k.sites[o.id] = checksitePolicy{level: level, sites: append([]uint32(nil), sites...)}
+	k.mu.Unlock()
+	return nil
+}
+
+// Checksite returns the object's current checkpoint policy.
+func (o *Object) Checksite() (Reliability, []uint32) {
+	k := o.k
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.sites[o.id]
+	if !ok {
+		return RelLocal, nil
+	}
+	return p.level, append([]uint32(nil), p.sites...)
+}
+
+// writeCheckpoint persists one checkpoint per the object's policy.
+// "Different reliability levels may cause different actions when a
+// checkpoint is issued." Remote checksites holding the immediately
+// preceding version receive only the changed segments (an incremental
+// checkpoint); anything else — a lagging or fresh site, or a site that
+// rejects the delta — receives the full representation.
+func (k *Kernel) writeCheckpoint(id edenid.ID, typeName string, ver uint64, frozen bool, encoded, partial []byte, removed []string) error {
+	k.mu.Lock()
+	policy, ok := k.sites[id]
+	k.mu.Unlock()
+	if !ok {
+		policy = checksitePolicy{level: RelLocal}
+	}
+	rec := store.Record{Object: id, TypeName: typeName, Version: ver, Frozen: frozen, Rep: encoded}
+	full := msg.Ship{Purpose: msg.ShipCheckpoint, Object: id, TypeName: typeName, Frozen: frozen, Version: ver, Rep: encoded}
+
+	var firstErr error
+	writeLocal := policy.level == RelLocal || policy.level == RelReplicated
+	if writeLocal {
+		if err := k.store.Put(rec); err != nil && !errors.Is(err, store.ErrStale) {
+			firstErr = err
+		}
+	}
+	if policy.level == RelRemote || policy.level == RelReplicated {
+		for _, site := range policy.sites {
+			if site == k.cfg.Node {
+				if !writeLocal {
+					if err := k.store.Put(rec); err != nil && !errors.Is(err, store.ErrStale) && firstErr == nil {
+						firstErr = err
+					}
+				}
+				continue
+			}
+			if err := k.shipCheckpoint(site, full, partial, removed, ver); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("kernel: checkpoint to site %d: %w", site, err)
+			}
+		}
+	}
+	return firstErr
+}
+
+// shipCheckpoint delivers one checkpoint to a remote site, preferring
+// an incremental shipment when the site holds the immediately
+// preceding version, with transparent fallback to the full
+// representation.
+func (k *Kernel) shipCheckpoint(site uint32, full msg.Ship, partial []byte, removed []string, ver uint64) error {
+	k.mu.Lock()
+	base, haveBase := uint64(0), false
+	if m := k.shipped[full.Object]; m != nil {
+		base, haveBase = m[site], m[site] > 0
+	}
+	k.mu.Unlock()
+
+	if haveBase && base == ver-1 {
+		inc := full
+		inc.Partial = true
+		inc.Base = base
+		inc.Removed = removed
+		inc.Rep = partial
+		if err := k.shipAndWait(site, inc, k.cfg.DefaultTimeout); err == nil {
+			k.recordShipped(full.Object, site, ver)
+			k.stCkptIncr.Add(1)
+			return nil
+		}
+		// Any failure (base mismatch at the receiver, timeout, media
+		// error) falls back to a full shipment.
+	}
+	if err := k.shipAndWait(site, full, k.cfg.DefaultTimeout); err != nil {
+		return err
+	}
+	k.recordShipped(full.Object, site, ver)
+	return nil
+}
+
+// recordShipped notes the checkpoint version a site has acknowledged.
+func (k *Kernel) recordShipped(id edenid.ID, site uint32, ver uint64) {
+	k.mu.Lock()
+	m := k.shipped[id]
+	if m == nil {
+		m = make(map[uint32]uint64)
+		k.shipped[id] = m
+	}
+	m[site] = ver
+	k.mu.Unlock()
+}
+
+// Crash simulates "a virtual memory failure, destroying all existing
+// active state. Following a crash, if an object has checkpointed
+// itself, the object becomes passive and awaits the next invocation."
+// An object that never checkpointed is simply gone.
+func (o *Object) Crash() {
+	o.k.removeActive(o)
+	o.destroyActiveState(0)
+}
+
+// Passivate checkpoints the object and then releases its active state
+// — the orderly way to "release system virtual memory resources".
+func (o *Object) Passivate() error {
+	if err := o.Checkpoint(); err != nil {
+		return err
+	}
+	o.k.removeActive(o)
+	o.destroyActiveState(0)
+	return nil
+}
+
+// Destroy crashes the object and deletes its long-term state;
+// outstanding capabilities dangle and report ErrNoSuchObject.
+func (o *Object) Destroy() error {
+	o.k.removeActive(o)
+	o.destroyActiveState(0)
+	k := o.k
+	k.mu.Lock()
+	delete(k.sites, o.id)
+	delete(k.forwards, o.id)
+	k.mu.Unlock()
+	k.loc.Forget(o.id)
+	if err := k.store.Delete(o.id); err != nil {
+		return err
+	}
+	return nil
+}
+
+// removeActive unregisters an object from the active table and the
+// memory budget (using the recorded charge, which tracks growth).
+func (k *Kernel) removeActive(o *Object) {
+	k.mu.Lock()
+	if _, ok := k.active[o.id]; ok {
+		delete(k.active, o.id)
+		k.memInUse -= o.charged.Load()
+		o.charged.Store(0)
+		if k.memInUse < 0 {
+			k.memInUse = 0
+		}
+	}
+	delete(k.replicas, o.id)
+	k.mu.Unlock()
+}
+
+// destroyActiveState tears down the incarnation's short-term state:
+// stops dispatch, waits out behaviors. movedTo, when non-zero, makes
+// queued invocations bounce to the new home instead of reporting a
+// crash.
+func (o *Object) destroyActiveState(movedTo uint32) {
+	o.mu.Lock()
+	if o.state == stDown {
+		o.mu.Unlock()
+		return
+	}
+	o.state = stDown
+	o.movedTo = movedTo
+	o.mu.Unlock()
+	o.downOnce.Do(func() { close(o.down) })
+	o.behaviors.Wait()
+}
+
+// Freeze makes the representation immutable: "When an object is frozen
+// its representation is made immutable, although it can still receive
+// invocations. Such an object can be replicated and cached at several
+// sites."
+func (o *Object) Freeze() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.replica {
+		return fmt.Errorf("kernel: cannot freeze a replica")
+	}
+	o.frozen = true
+	return nil
+}
+
+// Replicate caches the frozen object at the given nodes "in order to
+// save the overhead of remote invocations". The object must be frozen
+// first.
+func (o *Object) Replicate(nodes ...uint32) error {
+	o.mu.Lock()
+	if !o.frozen {
+		o.mu.Unlock()
+		return ErrNotFrozen
+	}
+	encoded := o.rep.Encode(nil)
+	ver := o.version
+	o.mu.Unlock()
+	ship := msg.Ship{Purpose: msg.ShipReplica, Object: o.id, TypeName: o.tm.Name, Frozen: true, Version: ver, Rep: encoded}
+	var firstErr error
+	for _, n := range nodes {
+		if n == o.k.cfg.Node {
+			continue // the home already serves local invocations
+		}
+		if err := o.k.shipAndWait(n, ship, o.k.cfg.DefaultTimeout); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("kernel: replicate to node %d: %w", n, err)
+		}
+		// Record the replica so our own reads can use it and locate
+		// replies advertise it.
+		if firstErr == nil {
+			o.k.loc.Learn(o.id, n, true)
+		}
+	}
+	return firstErr
+}
+
+// Move transfers "responsibility for its resources ... to another node
+// through the kernel-supplied move operation". The transfer is
+// asynchronous: it begins once in-flight invocations drain and
+// completes in the background; the returned channel yields the
+// outcome. A handler that initiates a move must return without
+// waiting on the channel (its own invocation is part of the in-flight
+// set).
+func (o *Object) Move(to uint32) <-chan error {
+	done := make(chan error, 1)
+	go func() { done <- o.k.moveObject(o, to) }()
+	return done
+}
+
+func (k *Kernel) moveObject(o *Object, to uint32) error {
+	if to == k.cfg.Node {
+		return nil // already here
+	}
+	o.mu.Lock()
+	if o.replica {
+		o.mu.Unlock()
+		return fmt.Errorf("kernel: cannot move a replica")
+	}
+	if o.state != stActive {
+		st := o.state
+		o.mu.Unlock()
+		if st == stMoving {
+			return ErrMoving
+		}
+		return ErrCrashed
+	}
+	o.state = stMoving
+	// Quiesce: wait for running handler processes to complete. New
+	// arrivals queue at the coordinator and will be bounced to the new
+	// home once the transfer commits.
+	o.waitDrainedLocked()
+	encoded := o.rep.Encode(nil)
+	ver := o.version
+	frozen := o.frozen
+	o.mu.Unlock()
+
+	ship := msg.Ship{Purpose: msg.ShipMove, Object: o.id, TypeName: o.tm.Name, Frozen: frozen, Version: ver, Rep: encoded}
+	if err := k.shipAndWait(to, ship, k.cfg.DefaultTimeout); err != nil {
+		// Abort: the object resumes service here.
+		o.mu.Lock()
+		if o.state == stMoving {
+			o.state = stActive
+		}
+		o.mu.Unlock()
+		return fmt.Errorf("kernel: move to node %d: %w", to, err)
+	}
+
+	// Commit: we are no longer the home; leave a forwarding pointer.
+	k.mu.Lock()
+	delete(k.active, o.id)
+	k.memInUse -= o.charged.Load()
+	o.charged.Store(0)
+	if k.memInUse < 0 {
+		k.memInUse = 0
+	}
+	k.forwards[o.id] = to
+	delete(k.sites, o.id)
+	// The incremental-checkpoint base tracking must not survive the
+	// move: changes made at other homes are invisible to this node's
+	// dirty tracking, so a base recorded here would let a future
+	// incremental delta (after the object moves back) silently omit
+	// them — including deletions, which a merge cannot infer.
+	delete(k.shipped, o.id)
+	k.mu.Unlock()
+	// The stale local checkpoint would otherwise make this node claim
+	// to be home again after a restart.
+	_ = k.store.Delete(o.id)
+	k.loc.Forget(o.id)
+	k.loc.Learn(o.id, to, false)
+	k.stMoves.Add(1)
+	o.destroyActiveState(to)
+	return nil
+}
+
+// shipAndWait sends a representation shipment and waits for the
+// receiving kernel's acknowledgment.
+func (k *Kernel) shipAndWait(node uint32, ship msg.Ship, timeout time.Duration) error {
+	corr := k.corr.Add(1)
+	ch := make(chan msg.InvokeRep, 1)
+	k.pendMu.Lock()
+	k.pend[corr] = ch
+	k.pendMu.Unlock()
+	defer func() {
+		k.pendMu.Lock()
+		delete(k.pend, corr)
+		k.pendMu.Unlock()
+	}()
+	env := msg.Envelope{Kind: msg.KindShip, To: node, Corr: corr, Payload: ship.Encode(nil)}
+	if err := k.tr.Send(env); err != nil {
+		return err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case rep := <-ch:
+		return errFromStatus(rep.Status, rep.Data)
+	case <-timer.C:
+		return ErrTimeout
+	}
+}
+
+// serveShip handles an inbound representation shipment.
+func (k *Kernel) serveShip(env msg.Envelope) {
+	ship, err := msg.DecodeShip(env.Payload)
+	ack := msg.InvokeRep{Status: msg.StatusOK}
+	if err != nil {
+		ack = msg.InvokeRep{Status: msg.StatusError, Data: []byte(err.Error())}
+	} else if err := k.acceptShip(env.From, ship); err != nil {
+		ack = msg.InvokeRep{Status: msg.StatusError, Data: []byte(err.Error())}
+	}
+	_ = k.tr.Send(msg.Envelope{
+		Kind:    msg.KindInvokeRep,
+		To:      env.From,
+		Corr:    env.Corr,
+		Payload: ack.Encode(nil),
+	})
+}
+
+// acceptShip applies one shipment.
+func (k *Kernel) acceptShip(from uint32, ship msg.Ship) error {
+	k.mu.Lock()
+	closed := k.closed
+	k.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	switch ship.Purpose {
+	case msg.ShipCheckpoint:
+		// We are acting as a remote checksite: hold the record as a
+		// backup, to be served only during failure recovery.
+		repBytes := ship.Rep
+		if ship.Partial {
+			// Incremental: merge the delta onto the base version we
+			// hold. A missing or mismatched base rejects the shipment;
+			// the sender falls back to a full checkpoint.
+			baseRec, err := k.store.Get(ship.Object)
+			if err != nil {
+				return fmt.Errorf("kernel: incremental checkpoint without base: %w", err)
+			}
+			if baseRec.Version != ship.Base {
+				return fmt.Errorf("kernel: incremental checkpoint base v%d, have v%d", ship.Base, baseRec.Version)
+			}
+			baseRep, rest, err := segment.Decode(baseRec.Rep)
+			if err != nil || len(rest) != 0 {
+				return fmt.Errorf("kernel: corrupt base checkpoint: %v", err)
+			}
+			delta, rest, err := segment.Decode(ship.Rep)
+			if err != nil || len(rest) != 0 {
+				return fmt.Errorf("kernel: corrupt checkpoint delta: %v", err)
+			}
+			baseRep.Merge(delta, ship.Removed)
+			repBytes = baseRep.Encode(nil)
+		}
+		rec := store.Record{Object: ship.Object, TypeName: ship.TypeName, Version: ship.Version, Frozen: ship.Frozen, Rep: repBytes}
+		if err := k.store.Put(rec); err != nil && !errors.Is(err, store.ErrStale) {
+			return err
+		}
+		k.mu.Lock()
+		if _, isHome := k.active[ship.Object]; !isHome {
+			k.backups[ship.Object] = true
+		}
+		k.mu.Unlock()
+		return nil
+
+	case msg.ShipReplica:
+		tm, err := k.types.Lookup(ship.TypeName)
+		if err != nil {
+			return err
+		}
+		rep, rest, err := segment.Decode(ship.Rep)
+		if err != nil || len(rest) != 0 {
+			return fmt.Errorf("kernel: corrupt replica representation: %v", err)
+		}
+		obj := k.newObject(ship.Object, tm, rep, ship.Version, true)
+		obj.replica = true
+		obj.home = from
+		k.mu.Lock()
+		if old := k.replicas[ship.Object]; old != nil {
+			go old.destroyActiveState(0)
+		}
+		k.replicas[ship.Object] = obj
+		k.mu.Unlock()
+		go obj.coordinate()
+		k.loc.Learn(ship.Object, from, false)
+		k.stReplicas.Add(1)
+		return nil
+
+	case msg.ShipMove:
+		tm, err := k.types.Lookup(ship.TypeName)
+		if err != nil {
+			return err
+		}
+		rep, rest, err := segment.Decode(ship.Rep)
+		if err != nil || len(rest) != 0 {
+			return fmt.Errorf("kernel: corrupt moved representation: %v", err)
+		}
+		obj := k.newObject(ship.Object, tm, rep, ship.Version, ship.Frozen)
+		// A move transports the representation but not short-term state
+		// (processes cannot cross machines); the reincarnation
+		// condition handler rebuilds temporary structures and respawns
+		// behaviors at the new home, exactly as it would after a
+		// passive activation.
+		if tm.Reincarnate != nil {
+			if err := tm.Reincarnate(obj); err != nil {
+				return fmt.Errorf("kernel: reincarnation after move failed: %w", err)
+			}
+		}
+		if err := k.install(obj); err != nil {
+			return err
+		}
+		// Checkpoint durability travels with the object: the old home
+		// deletes its record (it is no longer this object's home), so
+		// an object that has ever checkpointed re-establishes a record
+		// here — otherwise a post-move crash would lose state the
+		// checkpoint promised to preserve. An object that never
+		// checkpointed stays volatile, as before.
+		if ship.Version > 0 {
+			rec := store.Record{Object: ship.Object, TypeName: ship.TypeName,
+				Version: ship.Version, Frozen: ship.Frozen, Rep: ship.Rep}
+			if err := k.store.Put(rec); err != nil && !errors.Is(err, store.ErrStale) {
+				return fmt.Errorf("kernel: move checkpoint handoff: %w", err)
+			}
+		}
+		k.mu.Lock()
+		delete(k.backups, ship.Object)
+		// Any base tracking left from an earlier residency here is
+		// stale for the same reason the old home's is (see
+		// moveObject): the first checkpoint after arrival ships full.
+		delete(k.shipped, ship.Object)
+		k.mu.Unlock()
+		return nil
+
+	default:
+		return fmt.Errorf("kernel: unknown ship purpose %v", ship.Purpose)
+	}
+}
+
+// evictUntil passivates least-recently-invoked idle objects until the
+// node's memory use drops to the target. Only quiescent objects (no
+// running invocation processes, not replicas, not mid-move) are
+// eligible; their representations are checkpointed and their active
+// state released, to be reincarnated transparently on the next
+// invocation.
+func (k *Kernel) evictUntil(target int64) {
+	if target < 0 {
+		target = 0
+	}
+	for {
+		k.mu.Lock()
+		if k.memInUse <= target {
+			k.mu.Unlock()
+			return
+		}
+		// Choose the least-recently-invoked quiescent candidate.
+		var victim *Object
+		var oldest int64
+		for _, o := range k.active {
+			o.mu.Lock()
+			eligible := o.state == stActive && o.running == 0 && !o.replica
+			last := o.lastInvoked
+			o.mu.Unlock()
+			if !eligible {
+				continue
+			}
+			if victim == nil || last < oldest {
+				victim, oldest = o, last
+			}
+		}
+		k.mu.Unlock()
+		if victim == nil {
+			return // nothing evictable; let the caller fail
+		}
+		if err := victim.Passivate(); err != nil {
+			// Checkpoint failed (e.g. media failure): stop evicting
+			// rather than spin.
+			return
+		}
+		k.stEvictions.Add(1)
+	}
+}

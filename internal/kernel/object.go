@@ -1,0 +1,594 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"eden/internal/capability"
+	"eden/internal/edenid"
+	"eden/internal/msg"
+	"eden/internal/rights"
+	"eden/internal/segment"
+)
+
+// objState is the lifecycle state of an active object's in-memory
+// incarnation.
+type objState uint8
+
+const (
+	// stActive: the coordinator is dispatching invocations.
+	stActive objState = iota
+	// stMoving: a move is in progress; new invocations are held and
+	// answered with StatusMoved once the transfer commits.
+	stMoving
+	// stDown: the active state has been destroyed (crash or
+	// passivation); this incarnation is finished.
+	stDown
+)
+
+// Object is one active Eden object: "a unique name, a representation
+// (a data part), a type ..., and some number of invocations (threads
+// of control)". The representation is long-term state; everything
+// else here — coordinator, class gates, semaphores, ports, behaviors —
+// is short-term state that "is never written to long-term storage".
+type Object struct {
+	k  *Kernel
+	id edenid.ID
+	tm *TypeManager
+
+	mu          sync.Mutex
+	rep         *segment.Representation
+	version     uint64 // checkpoint version counter
+	frozen      bool
+	state       objState
+	movedTo     uint32 // valid once state becomes stMoving->moved
+	running     int    // handler processes currently executing
+	lastInvoked int64  // monotonic tick of the last admitted invocation
+	drained     *sync.Cond
+	charged     atomic.Int64 // bytes charged to the node's memory budget
+
+	// replica marks a frozen replica cached at this node; home then
+	// names the object's true home node.
+	replica bool
+	home    uint32
+
+	inbox    chan *callCtx
+	down     chan struct{} // closed when active state is destroyed
+	downOnce sync.Once
+
+	classTok map[string]chan struct{}
+
+	semMu sync.Mutex
+	sems  map[string]*Semaphore
+	ports map[string]*Port
+
+	behaviors sync.WaitGroup
+}
+
+// callCtx is one invocation traveling through the coordinator.
+type callCtx struct {
+	op      string
+	data    []byte
+	caps    capability.List
+	rts     rights.Set
+	replyCh chan msg.InvokeRep
+}
+
+func (k *Kernel) newObject(id edenid.ID, tm *TypeManager, rep *segment.Representation, version uint64, frozen bool) *Object {
+	o := &Object{
+		k:        k,
+		id:       id,
+		tm:       tm,
+		rep:      rep,
+		version:  version,
+		frozen:   frozen,
+		inbox:    make(chan *callCtx, 128),
+		down:     make(chan struct{}),
+		classTok: make(map[string]chan struct{}),
+		sems:     make(map[string]*Semaphore),
+		ports:    make(map[string]*Port),
+	}
+	o.drained = sync.NewCond(&o.mu)
+	// Build the class admission gates: one counting gate per limited
+	// class reachable through the type (including inherited ops).
+	for class, limit := range collectClassLimits(k.types, tm) {
+		if limit > 0 {
+			o.classTok[class] = make(chan struct{}, limit)
+		}
+	}
+	return o
+}
+
+// collectClassLimits walks the type and its supertypes gathering the
+// effective limit for every class mentioned by any operation or limit
+// declaration.
+func collectClassLimits(reg *Registry, tm *TypeManager) map[string]int {
+	limits := make(map[string]int)
+	seen := 0
+	for cur := tm; cur != nil && seen < 64; seen++ {
+		for class, n := range cur.ClassLimits {
+			if _, have := limits[class]; !have {
+				limits[class] = n
+			}
+		}
+		for _, op := range cur.Operations {
+			if _, have := limits[op.Class]; !have {
+				limits[op.Class] = reg.classLimit(tm, op.Class)
+			}
+		}
+		if cur.Extends == "" {
+			break
+		}
+		next, err := reg.Lookup(cur.Extends)
+		if err != nil {
+			break
+		}
+		cur = next
+	}
+	return limits
+}
+
+// ID returns the object's unique name.
+func (o *Object) ID() edenid.ID { return o.id }
+
+// TypeName returns the name of the object's type manager.
+func (o *Object) TypeName() string { return o.tm.Name }
+
+// Node returns the number of the node currently supporting the object.
+func (o *Object) Node() uint32 { return o.k.cfg.Node }
+
+// Frozen reports whether the representation has been made immutable.
+func (o *Object) Frozen() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.frozen
+}
+
+// IsReplica reports whether this incarnation is a cached frozen
+// replica rather than the object's home.
+func (o *Object) IsReplica() bool { return o.replica }
+
+// Version returns the object's current checkpoint version.
+func (o *Object) Version() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.version
+}
+
+// SelfCapability returns a capability for the object itself carrying
+// the given rights. An object may mint any rights over itself — it is
+// its own ultimate authority.
+func (o *Object) SelfCapability(rts rights.Set) capability.Capability {
+	return capability.New(o.id, rts)
+}
+
+// View runs fn with read access to the representation. fn must not
+// block on kernel operations and must not retain the representation
+// beyond the call.
+func (o *Object) View(fn func(r *segment.Representation)) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	fn(o.rep)
+}
+
+// Update runs fn with write access to the representation, serialized
+// against all other access. It fails with ErrFrozen once the object
+// has been frozen. A non-nil error from fn aborts nothing — the
+// representation is mutated in place — so handlers should validate
+// before mutating; the error is passed through for convenience.
+// Representation growth is charged against the node's virtual-memory
+// budget as it happens.
+func (o *Object) Update(fn func(r *segment.Representation) error) error {
+	o.mu.Lock()
+	if o.frozen {
+		o.mu.Unlock()
+		return ErrFrozen
+	}
+	err := fn(o.rep)
+	newSize := int64(o.rep.Size())
+	o.mu.Unlock()
+	o.k.recharge(o, newSize)
+	return err
+}
+
+// Semaphore returns the named semaphore, creating it with the given
+// initial value on first use. Semaphores are short-term state: they
+// die with the incarnation.
+func (o *Object) Semaphore(name string, initial int) *Semaphore {
+	o.semMu.Lock()
+	defer o.semMu.Unlock()
+	if s, ok := o.sems[name]; ok {
+		return s
+	}
+	s := newSemaphore(initial, initial+64, o.down)
+	o.sems[name] = s
+	return s
+}
+
+// Port returns the named message port, creating it with the given
+// capacity on first use.
+func (o *Object) Port(name string, capacity int) *Port {
+	o.semMu.Lock()
+	defer o.semMu.Unlock()
+	if p, ok := o.ports[name]; ok {
+		return p
+	}
+	p := newPort(capacity, o.down)
+	o.ports[name] = p
+	return p
+}
+
+// SpawnBehavior starts a detached process within the object: it
+// "operate[s] independently of invocations, except that [it] may
+// exchange signals or data through any of the intra-object
+// communication mechanisms". The function must return promptly after
+// stop is closed; passivation and crash wait for all behaviors.
+func (o *Object) SpawnBehavior(fn func(stop <-chan struct{})) {
+	o.behaviors.Add(1)
+	go func() {
+		defer o.behaviors.Done()
+		fn(o.down)
+	}()
+}
+
+// coordinate is the coordinator process: "kernel code responsible for
+// maintenance of the object, reception of invocation requests ...,
+// verification of rights, and dispatching of processes to
+// invocations". One goroutine per active object.
+func (o *Object) coordinate() {
+	var held []*callCtx // calls arriving during a move
+	for {
+		select {
+		case c := <-o.inbox:
+			o.mu.Lock()
+			st := o.state
+			o.mu.Unlock()
+			switch st {
+			case stMoving:
+				held = append(held, c)
+			case stDown:
+				c.reply(msg.InvokeRep{Status: msg.StatusCrashed})
+			default:
+				o.admit(c)
+			}
+		case <-o.down:
+			// Drain: everything queued or held is answered so no
+			// invoker hangs until its timeout.
+			o.mu.Lock()
+			moved := o.state == stMoving || o.movedTo != 0
+			dest := o.movedTo
+			o.mu.Unlock()
+			for {
+				select {
+				case c := <-o.inbox:
+					held = append(held, c)
+					continue
+				default:
+				}
+				break
+			}
+			for _, c := range held {
+				if moved && dest != 0 {
+					c.reply(movedReply(dest))
+				} else {
+					c.reply(msg.InvokeRep{Status: msg.StatusCrashed})
+				}
+			}
+			return
+		}
+	}
+}
+
+// movedReply builds the StatusMoved reply carrying the new home node.
+func movedReply(dest uint32) msg.InvokeRep {
+	return msg.InvokeRep{
+		Status: msg.StatusMoved,
+		Data:   []byte{byte(dest >> 24), byte(dest >> 16), byte(dest >> 8), byte(dest)},
+	}
+}
+
+// movedDest extracts the destination from a StatusMoved reply.
+func movedDest(rep msg.InvokeRep) (uint32, bool) {
+	if len(rep.Data) != 4 {
+		return 0, false
+	}
+	return uint32(rep.Data[0])<<24 | uint32(rep.Data[1])<<16 |
+		uint32(rep.Data[2])<<8 | uint32(rep.Data[3]), true
+}
+
+// admit validates a call and dispatches a process for it. Validation
+// runs on the coordinator; the process itself is a fresh goroutine
+// gated by its invocation class.
+func (o *Object) admit(c *callCtx) {
+	op, _, err := o.k.types.resolveOp(o.tm, c.op)
+	if err != nil {
+		c.reply(msg.InvokeRep{Status: msg.StatusNoSuchOperation, Data: []byte(err.Error())})
+		return
+	}
+	// Rights verification: the capability must carry Invoke plus the
+	// operation's declared rights.
+	need := op.Rights.Union(rights.Invoke)
+	if !c.rts.Has(need) {
+		c.reply(msg.InvokeRep{
+			Status: msg.StatusRights,
+			Data:   []byte(fmt.Sprintf("operation %q requires rights %v, capability has %v", c.op, need, c.rts)),
+		})
+		return
+	}
+	o.mu.Lock()
+	if o.replica && !op.ReadOnly {
+		// A cached replica serves only read-only operations; bounce
+		// the invoker to the home node.
+		home := o.home
+		o.mu.Unlock()
+		c.reply(movedReply(home))
+		return
+	}
+	if o.frozen && !op.ReadOnly && !o.replica {
+		o.mu.Unlock()
+		c.reply(msg.InvokeRep{Status: msg.StatusFrozen, Data: []byte("representation is frozen")})
+		return
+	}
+	o.running++
+	o.lastInvoked = o.k.tick.Add(1)
+	o.mu.Unlock()
+	go o.runProcess(op, c)
+}
+
+// runProcess executes one invocation: acquire the class gate, run the
+// handler, and reply. "In the normal case, a new process will be
+// created and assigned the invocation."
+func (o *Object) runProcess(op *Operation, c *callCtx) {
+	defer func() {
+		o.mu.Lock()
+		o.running--
+		if o.running == 0 {
+			o.drained.Broadcast()
+		}
+		o.mu.Unlock()
+	}()
+
+	if tok := o.classTok[op.Class]; tok != nil {
+		// Class admission: at most `limit` processes service this
+		// class concurrently; the rest queue here. A limit of one
+		// yields mutual exclusion among the class's operations.
+		select {
+		case tok <- struct{}{}:
+			defer func() { <-tok }()
+		case <-o.down:
+			c.reply(msg.InvokeRep{Status: msg.StatusCrashed})
+			return
+		}
+	}
+
+	call := &Call{
+		k:         o.k,
+		self:      o,
+		Operation: c.op,
+		Data:      c.data,
+		Caps:      c.caps,
+		Rights:    c.rts,
+		status:    msg.StatusOK,
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				call.status = msg.StatusError
+				call.replyData = []byte(fmt.Sprintf("operation %q panicked: %v", c.op, r))
+			}
+		}()
+		op.Handler(call)
+	}()
+
+	// A crash that happened while the handler ran destroys its result:
+	// the invoker sees the crash, not a reply from a dead incarnation.
+	o.mu.Lock()
+	crashed := o.state == stDown && o.movedTo == 0
+	o.mu.Unlock()
+	if crashed {
+		c.reply(msg.InvokeRep{Status: msg.StatusCrashed})
+		return
+	}
+	c.reply(msg.InvokeRep{Status: call.status, Data: call.replyData, Caps: call.replyCaps})
+}
+
+// reply delivers the invocation outcome exactly once.
+func (c *callCtx) reply(rep msg.InvokeRep) {
+	select {
+	case c.replyCh <- rep:
+	default: // already replied (cannot happen in practice; belt and braces)
+	}
+}
+
+// waitDrained blocks until no handler processes are running. Caller
+// must hold o.mu.
+func (o *Object) waitDrainedLocked() {
+	for o.running > 0 {
+		o.drained.Wait()
+	}
+}
+
+// Call is the context an operation handler receives: the invocation's
+// parameters, and the means to produce its reply and to reach the
+// kernel ("the major user-kernel interface").
+type Call struct {
+	k    *Kernel
+	self *Object
+
+	// Operation is the invoked operation's name.
+	Operation string
+	// Data carries the data parameters.
+	Data []byte
+	// Caps carries the capability parameters.
+	Caps capability.List
+	// Rights are the rights on the capability the invoker exercised;
+	// handlers may vary behavior on type-defined rights bits.
+	Rights rights.Set
+
+	status    msg.Status
+	replyData []byte
+	replyCaps capability.List
+}
+
+// Self returns the object executing the operation.
+func (c *Call) Self() *Object { return c.self }
+
+// Kernel returns the local kernel, for nested invocations and object
+// creation from within a handler.
+func (c *Call) Kernel() *Kernel { return c.k }
+
+// Return sets the invocation's data result.
+func (c *Call) Return(data []byte) {
+	c.replyData = append([]byte(nil), data...)
+}
+
+// ReturnCaps sets the invocation's capability results.
+func (c *Call) ReturnCaps(caps ...capability.Capability) {
+	c.replyCaps = append(capability.List(nil), caps...)
+}
+
+// Fail marks the invocation failed with an application-level message;
+// the invoker receives ErrInvocationFailed wrapping the message.
+func (c *Call) Fail(format string, args ...interface{}) {
+	c.status = msg.StatusError
+	c.replyData = []byte(fmt.Sprintf(format, args...))
+}
+
+// SegmentInfo describes one representation segment in an anatomy dump.
+type SegmentInfo struct {
+	// Name is the segment's name within the representation.
+	Name string
+	// Kind is "data" or "caps".
+	Kind string
+	// Len is the byte count (data) or capability count (caps).
+	Len int
+}
+
+// Anatomy is an introspective snapshot of an object — the four parts
+// of Figure 4 of the paper: unique name, representation, type, and
+// short-term state.
+type Anatomy struct {
+	// Name is the object's unique name.
+	Name edenid.ID
+	// TypeName identifies the type manager.
+	TypeName string
+	// Operations lists the operations reachable on the type (own and
+	// inherited), sorted.
+	Operations []string
+	// Segments describes the representation's long-term state.
+	Segments []SegmentInfo
+	// RepBytes is the representation's total size.
+	RepBytes int
+	// Running is the number of invocation processes executing now.
+	Running int
+	// Classes maps invocation classes to their concurrency limits
+	// (0 = unlimited).
+	Classes map[string]int
+	// Semaphores and Ports list live short-term synchronization state.
+	Semaphores, Ports []string
+	// Version is the checkpoint version.
+	Version uint64
+	// Frozen and Replica report immutability and replica status.
+	Frozen, Replica bool
+}
+
+// Describe returns an introspective snapshot of the object, used by
+// the figure renderer to regenerate the paper's object-anatomy figure
+// from a live system.
+func (o *Object) Describe() Anatomy {
+	a := Anatomy{
+		Name:     o.id,
+		TypeName: o.tm.Name,
+		Replica:  o.replica,
+		Classes:  collectClassLimits(o.k.types, o.tm),
+	}
+	ops := make(map[string]bool)
+	for cur, depth := o.tm, 0; cur != nil && depth < 64; depth++ {
+		for name := range cur.Operations {
+			ops[name] = true
+		}
+		if cur.Extends == "" {
+			break
+		}
+		next, err := o.k.types.Lookup(cur.Extends)
+		if err != nil {
+			break
+		}
+		cur = next
+	}
+	for name := range ops {
+		a.Operations = append(a.Operations, name)
+	}
+	sort.Strings(a.Operations)
+
+	o.mu.Lock()
+	a.Version = o.version
+	a.Frozen = o.frozen
+	a.Running = o.running
+	a.RepBytes = o.rep.Size()
+	for _, name := range o.rep.Names() {
+		info := SegmentInfo{Name: name}
+		if caps, err := o.rep.Caps(name); err == nil {
+			info.Kind, info.Len = "caps", len(caps)
+		} else if data, err := o.rep.Data(name); err == nil {
+			info.Kind, info.Len = "data", len(data)
+		}
+		a.Segments = append(a.Segments, info)
+	}
+	o.mu.Unlock()
+
+	o.semMu.Lock()
+	for name := range o.sems {
+		a.Semaphores = append(a.Semaphores, name)
+	}
+	for name := range o.ports {
+		a.Ports = append(a.Ports, name)
+	}
+	o.semMu.Unlock()
+	sort.Strings(a.Semaphores)
+	sort.Strings(a.Ports)
+	return a
+}
+
+// Invoke performs a location-independent invocation on behalf of this
+// object — the way behaviors and other detached processes inside an
+// object reach the rest of the system ("programming in Eden consists
+// of defining types that invoke operations on objects of other
+// types"). Handlers can equivalently use Call.Kernel().Invoke.
+func (o *Object) Invoke(target capability.Capability, operation string, data []byte, caps capability.List, opts *InvokeOptions) (Reply, error) {
+	return o.k.Invoke(target, operation, data, caps, opts)
+}
+
+// Subprocess starts a subordinate process to aid the invocation's
+// execution: "this new process may also create other subordinate
+// processes to aid in its execution. On a node with multiprocessing
+// capability, these processes could execute concurrently." The
+// subprocess counts as part of the object's executing work: moves and
+// passivation drain it like any invocation process. The returned
+// channel closes when fn returns.
+func (c *Call) Subprocess(fn func()) <-chan struct{} {
+	o := c.self
+	o.mu.Lock()
+	o.running++
+	o.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				// A subordinate's panic is contained like a handler's.
+				_ = r
+			}
+			o.mu.Lock()
+			o.running--
+			if o.running == 0 {
+				o.drained.Broadcast()
+			}
+			o.mu.Unlock()
+			close(done)
+		}()
+		fn()
+	}()
+	return done
+}

@@ -1,0 +1,141 @@
+package kernel
+
+import (
+	"errors"
+	"time"
+)
+
+// This file supplies the paper's intra-object communication and
+// synchronization primitives: "for fine-grained synchronization
+// control, programmers can use kernel-supplied semaphore and message
+// port primitives." Both are scoped to one object's short-term state:
+// they are created on demand by name, never checkpointed, and
+// destroyed when the object passivates or crashes.
+
+// ErrObjectDown reports a semaphore or port operation on an object
+// whose active state has been destroyed (crash or passivation).
+var ErrObjectDown = errors.New("kernel: object active state destroyed")
+
+// Semaphore is a counting semaphore private to one object.
+type Semaphore struct {
+	tokens chan struct{}
+	down   <-chan struct{}
+}
+
+func newSemaphore(initial, max int, down <-chan struct{}) *Semaphore {
+	if max < initial {
+		max = initial
+	}
+	if max < 1 {
+		max = 1
+	}
+	s := &Semaphore{tokens: make(chan struct{}, max), down: down}
+	for i := 0; i < initial; i++ {
+		s.tokens <- struct{}{}
+	}
+	return s
+}
+
+// P acquires one unit, blocking until one is available or the object's
+// active state is destroyed.
+func (s *Semaphore) P() error {
+	select {
+	case <-s.tokens:
+		return nil
+	case <-s.down:
+		return ErrObjectDown
+	}
+}
+
+// TryP acquires one unit without blocking, reporting whether it did.
+func (s *Semaphore) TryP() bool {
+	select {
+	case <-s.tokens:
+		return true
+	default:
+		return false
+	}
+}
+
+// V releases one unit. Releasing beyond the semaphore's capacity is
+// discarded (V on a full semaphore is a no-op rather than a deadlock).
+func (s *Semaphore) V() {
+	select {
+	case s.tokens <- struct{}{}:
+	default:
+	}
+}
+
+// Port is a bounded message port private to one object: processes
+// within the object (invocations and behaviors) exchange data through
+// it, mirroring the 432's port-based IPC.
+type Port struct {
+	ch   chan []byte
+	down <-chan struct{}
+}
+
+func newPort(capacity int, down <-chan struct{}) *Port {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Port{ch: make(chan []byte, capacity), down: down}
+}
+
+// Send enqueues a message (copied), blocking while the port is full.
+func (p *Port) Send(m []byte) error {
+	cp := append([]byte(nil), m...)
+	select {
+	case p.ch <- cp:
+		return nil
+	case <-p.down:
+		return ErrObjectDown
+	}
+}
+
+// TrySend enqueues without blocking, reporting whether it did.
+func (p *Port) TrySend(m []byte) bool {
+	select {
+	case p.ch <- append([]byte(nil), m...):
+		return true
+	default:
+		return false
+	}
+}
+
+// Receive dequeues the next message, blocking until one arrives, the
+// timeout (if positive) expires, or the object's active state is
+// destroyed.
+func (p *Port) Receive(timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		select {
+		case m := <-p.ch:
+			return m, nil
+		case <-p.down:
+			return nil, ErrObjectDown
+		}
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case m := <-p.ch:
+		return m, nil
+	case <-p.down:
+		return nil, ErrObjectDown
+	case <-t.C:
+		return nil, ErrTimeout
+	}
+}
+
+// TryReceive dequeues without blocking; ok reports whether a message
+// was available.
+func (p *Port) TryReceive() (m []byte, ok bool) {
+	select {
+	case m := <-p.ch:
+		return m, true
+	default:
+		return nil, false
+	}
+}
+
+// Len returns the number of queued messages.
+func (p *Port) Len() int { return len(p.ch) }

@@ -1,0 +1,346 @@
+// Package locator implements Eden's location-independent addressing:
+// the machinery by which a kernel, "when called upon to perform an
+// invocation, [determines] the node on which the target object resides
+// and [forwards] the invocation message to that object".
+//
+// Each node's Locator keeps a hint cache mapping object names to the
+// node believed to host them (plus the set of nodes holding frozen
+// replicas). A cache miss triggers the broadcast location protocol:
+// a LocateReq goes to all nodes, and every node hosting the object (or
+// a replica) answers. Hints are also learned opportunistically — from
+// move notifications and from invocation replies — and invalidated
+// when they prove wrong, so the cache self-repairs under object
+// mobility.
+package locator
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eden/internal/edenid"
+	"eden/internal/msg"
+)
+
+// Errors reported by the locator.
+var (
+	// ErrNotFound reports that no node answered a location broadcast
+	// within the timeout.
+	ErrNotFound = errors.New("locator: object not found on any node")
+	// ErrClosed reports use of a closed locator.
+	ErrClosed = errors.New("locator: closed")
+)
+
+// HostCheck answers, for the local node, whether it hosts the object.
+// home is true when this node is the object's unique active/passive
+// home; replica is true when it caches a frozen replica. When recover
+// is true the caller is running the failure-recovery protocol: a node
+// holding only a checkpoint backup (a remote checksite) should then
+// claim the object as home so it can be reincarnated there.
+type HostCheck func(id edenid.ID, recover bool) (home, replica bool)
+
+// SendFunc transmits one frame; the kernel supplies its transport's
+// Send.
+type SendFunc func(env msg.Envelope) error
+
+// Stats counts locator activity.
+type Stats struct {
+	// Hits counts lookups satisfied from the hint cache.
+	Hits int64
+	// Misses counts lookups that had to broadcast.
+	Misses int64
+	// Broadcasts counts LocateReq frames sent.
+	Broadcasts int64
+	// Invalidations counts hints discarded as wrong.
+	Invalidations int64
+}
+
+// Location is a resolved object position.
+type Location struct {
+	// Node hosts the object.
+	Node uint32
+	// Replica is true when Node holds a frozen replica rather than
+	// the object's home.
+	Replica bool
+	// Fresh is true when the position was just confirmed by the node
+	// itself (a broadcast answer or the local host check), false when
+	// it came from the hint cache and may be stale.
+	Fresh bool
+}
+
+type hintEntry struct {
+	home     uint32
+	hasHome  bool
+	replicas map[uint32]bool
+}
+
+type waiter struct {
+	ch       chan msg.LocateRep
+	object   edenid.ID
+	wantHome bool
+}
+
+// Locator is one node's location service. Create with New; the owning
+// kernel must route inbound KindLocateReq/KindLocateRep frames to
+// HandleRequest/HandleReply.
+type Locator struct {
+	node  uint32
+	send  SendFunc
+	check HostCheck
+
+	mu      sync.Mutex
+	hints   map[edenid.ID]*hintEntry
+	waiters map[uint64]*waiter
+	corr    uint64
+	closed  bool
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	broadcasts    atomic.Int64
+	invalidations atomic.Int64
+
+	// DefaultTimeout bounds a broadcast lookup when the caller passes
+	// no timeout.
+	DefaultTimeout time.Duration
+
+	rng *rand.Rand
+}
+
+// New returns a Locator for the given node. send transmits frames;
+// check answers whether the local node hosts an object.
+func New(node uint32, send SendFunc, check HostCheck) *Locator {
+	return &Locator{
+		node:           node,
+		send:           send,
+		check:          check,
+		hints:          make(map[edenid.ID]*hintEntry),
+		waiters:        make(map[uint64]*waiter),
+		DefaultTimeout: 2 * time.Second,
+		rng:            rand.New(rand.NewSource(int64(node)*7919 + 17)),
+	}
+}
+
+// Stats returns cumulative counters.
+func (l *Locator) Stats() Stats {
+	return Stats{
+		Hits:          l.hits.Load(),
+		Misses:        l.misses.Load(),
+		Broadcasts:    l.broadcasts.Load(),
+		Invalidations: l.invalidations.Load(),
+	}
+}
+
+// Learn installs a location hint. Replica hints accumulate; home
+// hints replace the previous home.
+func (l *Locator) Learn(id edenid.ID, node uint32, replica bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.hints[id]
+	if e == nil {
+		e = &hintEntry{replicas: make(map[uint32]bool)}
+		l.hints[id] = e
+	}
+	if replica {
+		e.replicas[node] = true
+	} else {
+		e.home = node
+		e.hasHome = true
+	}
+}
+
+// Forget discards every hint for the object (e.g. after the hint
+// proved wrong or the object was destroyed).
+func (l *Locator) Forget(id edenid.ID) {
+	l.mu.Lock()
+	if _, ok := l.hints[id]; ok {
+		delete(l.hints, id)
+		l.invalidations.Add(1)
+	}
+	l.mu.Unlock()
+}
+
+// DropReplica discards only the replica hint naming the given node.
+func (l *Locator) DropReplica(id edenid.ID, node uint32) {
+	l.mu.Lock()
+	if e := l.hints[id]; e != nil {
+		delete(e.replicas, node)
+	}
+	l.mu.Unlock()
+}
+
+// cached returns a cached location. When wantHome is true only the
+// home qualifies; otherwise a replica (preferring the local node, then
+// a random replica) is acceptable, and the home serves as fallback.
+func (l *Locator) cached(id edenid.ID, wantHome bool) (Location, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.hints[id]
+	if e == nil {
+		return Location{}, false
+	}
+	if !wantHome {
+		if e.replicas[l.node] {
+			return Location{Node: l.node, Replica: true}, true
+		}
+		if len(e.replicas) > 0 {
+			// Random choice spreads read load across replica sites.
+			k := l.rng.Intn(len(e.replicas))
+			for n := range e.replicas {
+				if k == 0 {
+					return Location{Node: n, Replica: true}, true
+				}
+				k--
+			}
+		}
+	}
+	if e.hasHome {
+		return Location{Node: e.home}, true
+	}
+	return Location{}, false
+}
+
+// Lookup resolves the object's home node, consulting the hint cache
+// and falling back to the broadcast protocol. A zero timeout uses
+// DefaultTimeout.
+func (l *Locator) Lookup(id edenid.ID, timeout time.Duration) (Location, error) {
+	return l.lookup(id, true, false, timeout)
+}
+
+// Recover runs the failure-recovery location protocol: it bypasses the
+// hint cache and asks every node — including nodes holding only a
+// checkpoint backup — to claim the object, so that after its home node
+// fails the object can reincarnate at a checksite.
+func (l *Locator) Recover(id edenid.ID, timeout time.Duration) (Location, error) {
+	l.Forget(id)
+	// The recovering node may itself hold the checkpoint backup; a
+	// broadcast never loops back, so ask locally first (this also
+	// promotes the local backup to home).
+	if home, _ := l.check(id, true); home {
+		return Location{Node: l.node, Fresh: true}, nil
+	}
+	return l.broadcast(id, true, true, timeout)
+}
+
+// LookupAny resolves any node able to serve the object — its home or a
+// frozen replica. Read-only invocation paths use this to exploit
+// cached replicas.
+func (l *Locator) LookupAny(id edenid.ID, timeout time.Duration) (Location, error) {
+	return l.lookup(id, false, false, timeout)
+}
+
+func (l *Locator) lookup(id edenid.ID, wantHome, recover bool, timeout time.Duration) (Location, error) {
+	// The local node answers for itself without touching the cache.
+	if home, replica := l.check(id, recover); home || (replica && !wantHome) {
+		return Location{Node: l.node, Replica: !home, Fresh: true}, nil
+	}
+	if loc, ok := l.cached(id, wantHome); ok {
+		l.hits.Add(1)
+		return loc, nil
+	}
+	l.misses.Add(1)
+	return l.broadcast(id, wantHome, recover, timeout)
+}
+
+// broadcast runs the location protocol for one object.
+func (l *Locator) broadcast(id edenid.ID, wantHome, recover bool, timeout time.Duration) (Location, error) {
+	if timeout <= 0 {
+		timeout = l.DefaultTimeout
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return Location{}, ErrClosed
+	}
+	l.corr++
+	corr := l.corr
+	w := &waiter{ch: make(chan msg.LocateRep, 8), object: id, wantHome: wantHome}
+	l.waiters[corr] = w
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.waiters, corr)
+		l.mu.Unlock()
+	}()
+
+	l.broadcasts.Add(1)
+	env := msg.Envelope{
+		Kind:    msg.KindLocateReq,
+		To:      msg.Broadcast,
+		Corr:    corr,
+		Payload: msg.LocateReq{Object: id, Recover: recover}.Encode(nil),
+	}
+	if err := l.send(env); err != nil {
+		return Location{}, fmt.Errorf("locator: broadcast: %w", err)
+	}
+
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case rep := <-w.ch:
+			if rep.Object != id {
+				continue
+			}
+			l.Learn(id, rep.Node, rep.Replica)
+			if wantHome && rep.Replica {
+				// A replica cannot serve a home-only lookup; the hint
+				// is cached, keep waiting for the home to answer.
+				continue
+			}
+			return Location{Node: rep.Node, Replica: rep.Replica, Fresh: true}, nil
+		case <-deadline.C:
+			return Location{}, fmt.Errorf("%w: %v", ErrNotFound, id)
+		}
+	}
+}
+
+// HandleRequest processes an inbound LocateReq: if the local node
+// hosts the object (or a replica), it answers the requester directly.
+func (l *Locator) HandleRequest(env msg.Envelope) {
+	req, err := msg.DecodeLocateReq(env.Payload)
+	if err != nil {
+		return
+	}
+	home, replica := l.check(req.Object, req.Recover)
+	if !home && !replica {
+		return
+	}
+	rep := msg.LocateRep{Object: req.Object, Node: l.node, Replica: !home}
+	_ = l.send(msg.Envelope{
+		Kind:    msg.KindLocateRep,
+		To:      env.From,
+		Corr:    env.Corr,
+		Payload: rep.Encode(nil),
+	})
+}
+
+// HandleReply processes an inbound LocateRep, delivering it to the
+// waiting lookup (and caching the hint regardless, so even late
+// replies improve the cache).
+func (l *Locator) HandleReply(env msg.Envelope) {
+	rep, err := msg.DecodeLocateRep(env.Payload)
+	if err != nil {
+		return
+	}
+	l.Learn(rep.Object, rep.Node, rep.Replica)
+	l.mu.Lock()
+	w := l.waiters[env.Corr]
+	l.mu.Unlock()
+	if w == nil || w.object != rep.Object {
+		return
+	}
+	select {
+	case w.ch <- rep:
+	default: // waiter's buffer full; hint already cached
+	}
+}
+
+// Close fails all pending lookups and rejects new ones.
+func (l *Locator) Close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+}

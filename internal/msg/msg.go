@@ -1,0 +1,499 @@
+// Package msg defines the kernel-to-kernel wire protocol of the Eden
+// system: invocation requests and replies, location queries, and the
+// frames that ship object representations between nodes for checkpoint
+// and move.
+//
+// Everything on the wire is length-delimited binary built from
+// encoding/binary, so the protocol works identically over the
+// in-process mesh transport and the TCP transport. Every frame starts
+// with a fixed envelope (version, kind, source, destination,
+// correlation id); the payload layout depends on the kind.
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"eden/internal/capability"
+	"eden/internal/edenid"
+)
+
+// Version is the protocol version carried in every envelope. Peers
+// reject frames with a different version outright.
+const Version = 1
+
+// Kind identifies the payload carried by an envelope.
+type Kind uint8
+
+// Frame kinds.
+const (
+	// KindInvokeReq carries an invocation request toward the target
+	// object's node.
+	KindInvokeReq Kind = iota + 1
+	// KindInvokeRep carries an invocation's status and results back to
+	// the invoker.
+	KindInvokeRep
+	// KindLocateReq asks "which node hosts object X?"; it is broadcast
+	// by a kernel whose hint cache misses.
+	KindLocateReq
+	// KindLocateRep answers a locate request.
+	KindLocateRep
+	// KindShip carries an object's representation: checkpoint traffic
+	// to a checksite, replica distribution for frozen objects, or the
+	// payload of a move.
+	KindShip
+	// KindHello announces a node to its peers when it joins.
+	KindHello
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindInvokeReq:
+		return "invoke-req"
+	case KindInvokeRep:
+		return "invoke-rep"
+	case KindLocateReq:
+		return "locate-req"
+	case KindLocateRep:
+		return "locate-rep"
+	case KindShip:
+		return "ship"
+	case KindHello:
+		return "hello"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Broadcast is the reserved destination meaning "all nodes".
+const Broadcast uint32 = 0xFFFFFFFF
+
+// ErrBadFrame reports a malformed wire frame.
+var ErrBadFrame = errors.New("msg: malformed frame")
+
+// Envelope is the fixed header plus payload of one frame.
+type Envelope struct {
+	// Kind selects the payload type.
+	Kind Kind
+	// From is the sending node's number.
+	From uint32
+	// To is the destination node, or Broadcast.
+	To uint32
+	// Corr correlates replies with requests; the requester picks it.
+	Corr uint64
+	// Payload is the kind-specific body, already encoded.
+	Payload []byte
+}
+
+// envelope header: version(1) kind(1) from(4) to(4) corr(8) payloadLen(4)
+const headerSize = 1 + 1 + 4 + 4 + 8 + 4
+
+// EncodeEnvelope appends the wire form of e to dst.
+func EncodeEnvelope(dst []byte, e Envelope) []byte {
+	dst = append(dst, Version, byte(e.Kind))
+	dst = binary.BigEndian.AppendUint32(dst, e.From)
+	dst = binary.BigEndian.AppendUint32(dst, e.To)
+	dst = binary.BigEndian.AppendUint64(dst, e.Corr)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(e.Payload)))
+	return append(dst, e.Payload...)
+}
+
+// DecodeEnvelope parses one envelope from the front of src, returning
+// it and the remaining bytes.
+func DecodeEnvelope(src []byte) (Envelope, []byte, error) {
+	if len(src) < headerSize {
+		return Envelope{}, src, fmt.Errorf("%w: short header", ErrBadFrame)
+	}
+	if src[0] != Version {
+		return Envelope{}, src, fmt.Errorf("%w: version %d, want %d", ErrBadFrame, src[0], Version)
+	}
+	e := Envelope{
+		Kind: Kind(src[1]),
+		From: binary.BigEndian.Uint32(src[2:6]),
+		To:   binary.BigEndian.Uint32(src[6:10]),
+		Corr: binary.BigEndian.Uint64(src[10:18]),
+	}
+	plen := int(binary.BigEndian.Uint32(src[18:22]))
+	rest := src[headerSize:]
+	if plen < 0 || len(rest) < plen {
+		return Envelope{}, src, fmt.Errorf("%w: truncated payload (%d of %d bytes)", ErrBadFrame, len(rest), plen)
+	}
+	e.Payload = append([]byte(nil), rest[:plen]...)
+	return e, rest[plen:], nil
+}
+
+// ---- byte/string/list helpers ----
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+func takeBytes(src []byte) ([]byte, []byte, error) {
+	if len(src) < 4 {
+		return nil, src, fmt.Errorf("%w: short length prefix", ErrBadFrame)
+	}
+	n := int(binary.BigEndian.Uint32(src))
+	src = src[4:]
+	if n < 0 || len(src) < n {
+		return nil, src, fmt.Errorf("%w: truncated field", ErrBadFrame)
+	}
+	return append([]byte(nil), src[:n]...), src[n:], nil
+}
+
+func appendString(dst []byte, s string) []byte { return appendBytes(dst, []byte(s)) }
+
+func takeString(src []byte) (string, []byte, error) {
+	b, rest, err := takeBytes(src)
+	return string(b), rest, err
+}
+
+// InvokeReq is the payload of KindInvokeReq: "the user supplies a
+// capability for the object, the name of the operation to be invoked,
+// and optionally a list of data and/or capability parameters",
+// plus an optional timeout.
+type InvokeReq struct {
+	// Target is the capability being exercised. The receiving
+	// coordinator validates its rights.
+	Target capability.Capability
+	// Operation names the operation to invoke.
+	Operation string
+	// Data carries the data parameters.
+	Data []byte
+	// Caps carries the capability parameters.
+	Caps capability.List
+	// TimeoutNanos is the invoker's timeout in nanoseconds, 0 for
+	// none. It travels with the request so a forwarding kernel can
+	// preserve the caller's bound.
+	TimeoutNanos int64
+	// Hops counts kernel-to-kernel forwards, bounding forwarding
+	// chains after moves.
+	Hops uint8
+}
+
+// Encode appends the wire form of the request to dst.
+func (r InvokeReq) Encode(dst []byte) []byte {
+	dst = r.Target.Encode(dst)
+	dst = appendString(dst, r.Operation)
+	dst = appendBytes(dst, r.Data)
+	dst = capability.EncodeList(dst, r.Caps)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.TimeoutNanos))
+	return append(dst, r.Hops)
+}
+
+// DecodeInvokeReq parses an InvokeReq payload.
+func DecodeInvokeReq(src []byte) (InvokeReq, error) {
+	var r InvokeReq
+	var err error
+	r.Target, src, err = capability.Decode(src)
+	if err != nil {
+		return r, fmt.Errorf("%w: target: %v", ErrBadFrame, err)
+	}
+	if r.Operation, src, err = takeString(src); err != nil {
+		return r, err
+	}
+	if r.Data, src, err = takeBytes(src); err != nil {
+		return r, err
+	}
+	if r.Caps, src, err = capability.DecodeList(src); err != nil {
+		return r, fmt.Errorf("%w: caps: %v", ErrBadFrame, err)
+	}
+	if len(src) < 9 {
+		return r, fmt.Errorf("%w: truncated trailer", ErrBadFrame)
+	}
+	r.TimeoutNanos = int64(binary.BigEndian.Uint64(src))
+	r.Hops = src[8]
+	if rest := src[9:]; len(rest) != 0 {
+		return r, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
+	}
+	return r, nil
+}
+
+// Status is the outcome of an invocation, carried in the reply.
+type Status uint8
+
+// Invocation statuses.
+const (
+	// StatusOK means the operation completed; results are valid.
+	StatusOK Status = iota
+	// StatusNoSuchObject means no node admits to hosting the target.
+	StatusNoSuchObject
+	// StatusNoSuchOperation means the type defines no such operation.
+	StatusNoSuchOperation
+	// StatusRights means the capability lacks the rights the
+	// operation requires.
+	StatusRights
+	// StatusTimeout means the invoker's time limit expired.
+	StatusTimeout
+	// StatusCrashed means the target crashed while executing.
+	StatusCrashed
+	// StatusError means the operation itself reported failure; the
+	// reply data carries the message.
+	StatusError
+	// StatusMoved means the target has moved; the reply data carries
+	// the new node number (transparent to users — kernels chase it).
+	StatusMoved
+	// StatusFrozen means a mutating operation was invoked on a frozen
+	// object.
+	StatusFrozen
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusNoSuchObject:
+		return "no-such-object"
+	case StatusNoSuchOperation:
+		return "no-such-operation"
+	case StatusRights:
+		return "insufficient-rights"
+	case StatusTimeout:
+		return "timeout"
+	case StatusCrashed:
+		return "crashed"
+	case StatusError:
+		return "error"
+	case StatusMoved:
+		return "moved"
+	case StatusFrozen:
+		return "frozen"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// InvokeRep is the payload of KindInvokeRep: "the object executes the
+// request and responds with status and return parameters".
+type InvokeRep struct {
+	// Status is the invocation outcome.
+	Status Status
+	// Data carries the data results (or an error message).
+	Data []byte
+	// Caps carries the capability results.
+	Caps capability.List
+}
+
+// Encode appends the wire form of the reply to dst.
+func (r InvokeRep) Encode(dst []byte) []byte {
+	dst = append(dst, byte(r.Status))
+	dst = appendBytes(dst, r.Data)
+	return capability.EncodeList(dst, r.Caps)
+}
+
+// DecodeInvokeRep parses an InvokeRep payload.
+func DecodeInvokeRep(src []byte) (InvokeRep, error) {
+	var r InvokeRep
+	if len(src) < 1 {
+		return r, fmt.Errorf("%w: empty reply", ErrBadFrame)
+	}
+	r.Status = Status(src[0])
+	var err error
+	if r.Data, src, err = takeBytes(src[1:]); err != nil {
+		return r, err
+	}
+	if r.Caps, src, err = capability.DecodeList(src); err != nil {
+		return r, fmt.Errorf("%w: caps: %v", ErrBadFrame, err)
+	}
+	if len(src) != 0 {
+		return r, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(src))
+	}
+	return r, nil
+}
+
+// LocateReq is the payload of KindLocateReq.
+type LocateReq struct {
+	// Object is the name being located.
+	Object edenid.ID
+	// Recover asks nodes holding only a checkpoint backup (a remote
+	// checksite) to claim the object, so it can be reincarnated after
+	// its home node has failed. Ordinary lookups leave this false and
+	// backups stay silent.
+	Recover bool
+}
+
+// Encode appends the wire form of the query to dst.
+func (r LocateReq) Encode(dst []byte) []byte {
+	dst = r.Object.Encode(dst)
+	if r.Recover {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// DecodeLocateReq parses a LocateReq payload.
+func DecodeLocateReq(src []byte) (LocateReq, error) {
+	id, rest, err := edenid.Decode(src)
+	if err != nil {
+		return LocateReq{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if len(rest) != 1 {
+		return LocateReq{}, fmt.Errorf("%w: bad trailer", ErrBadFrame)
+	}
+	return LocateReq{Object: id, Recover: rest[0] != 0}, nil
+}
+
+// LocateRep is the payload of KindLocateRep. Only nodes that host (or
+// hold a frozen replica of) the object answer.
+type LocateRep struct {
+	// Object echoes the queried name.
+	Object edenid.ID
+	// Node is the answering host.
+	Node uint32
+	// Replica is true when Node holds a frozen replica rather than
+	// the (unique) active/passive home.
+	Replica bool
+}
+
+// Encode appends the wire form of the answer to dst.
+func (r LocateRep) Encode(dst []byte) []byte {
+	dst = r.Object.Encode(dst)
+	dst = binary.BigEndian.AppendUint32(dst, r.Node)
+	if r.Replica {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// DecodeLocateRep parses a LocateRep payload.
+func DecodeLocateRep(src []byte) (LocateRep, error) {
+	id, rest, err := edenid.Decode(src)
+	if err != nil {
+		return LocateRep{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if len(rest) != 5 {
+		return LocateRep{}, fmt.Errorf("%w: bad trailer length %d", ErrBadFrame, len(rest))
+	}
+	return LocateRep{
+		Object:  id,
+		Node:    binary.BigEndian.Uint32(rest),
+		Replica: rest[4] != 0,
+	}, nil
+}
+
+// ShipPurpose says why a representation is being shipped.
+type ShipPurpose uint8
+
+// Ship purposes.
+const (
+	// ShipCheckpoint writes the representation to a remote checksite.
+	ShipCheckpoint ShipPurpose = iota + 1
+	// ShipMove transfers hosting responsibility to the destination.
+	ShipMove
+	// ShipReplica distributes a frozen object's replica for caching.
+	ShipReplica
+)
+
+// String names the purpose.
+func (p ShipPurpose) String() string {
+	switch p {
+	case ShipCheckpoint:
+		return "checkpoint"
+	case ShipMove:
+		return "move"
+	case ShipReplica:
+		return "replica"
+	default:
+		return fmt.Sprintf("purpose(%d)", uint8(p))
+	}
+}
+
+// Ship is the payload of KindShip: an object's identity, type, flags
+// and encoded representation in transit between kernels.
+type Ship struct {
+	// Purpose says what the receiver should do with the payload.
+	Purpose ShipPurpose
+	// Object is the object being shipped.
+	Object edenid.ID
+	// TypeName identifies the object's type manager so the receiving
+	// kernel can re-bind code to state.
+	TypeName string
+	// Frozen marks an immutable representation.
+	Frozen bool
+	// Version is the checkpoint sequence number.
+	Version uint64
+	// Rep is the encoded representation (segment.Representation wire
+	// form). For a partial checkpoint it contains only the changed
+	// segments.
+	Rep []byte
+	// Partial marks an incremental checkpoint: Rep holds only the
+	// segments changed since Base, and Removed lists segments deleted
+	// since then. The receiver merges onto its record at version Base;
+	// if it does not hold exactly Base, it rejects the shipment and
+	// the sender falls back to a full checkpoint.
+	Partial bool
+	// Base is the version the partial applies on top of.
+	Base uint64
+	// Removed lists segment names deleted since Base.
+	Removed []string
+}
+
+// Encode appends the wire form of the shipment to dst.
+func (s Ship) Encode(dst []byte) []byte {
+	dst = append(dst, byte(s.Purpose))
+	dst = s.Object.Encode(dst)
+	dst = appendString(dst, s.TypeName)
+	var flags byte
+	if s.Frozen {
+		flags |= 1
+	}
+	if s.Partial {
+		flags |= 2
+	}
+	dst = append(dst, flags)
+	dst = binary.BigEndian.AppendUint64(dst, s.Version)
+	dst = binary.BigEndian.AppendUint64(dst, s.Base)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s.Removed)))
+	for _, name := range s.Removed {
+		dst = appendString(dst, name)
+	}
+	return appendBytes(dst, s.Rep)
+}
+
+// DecodeShip parses a Ship payload.
+func DecodeShip(src []byte) (Ship, error) {
+	var s Ship
+	if len(src) < 1 {
+		return s, fmt.Errorf("%w: empty shipment", ErrBadFrame)
+	}
+	s.Purpose = ShipPurpose(src[0])
+	var err error
+	var id edenid.ID
+	id, src, err = edenid.Decode(src[1:])
+	if err != nil {
+		return s, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	s.Object = id
+	if s.TypeName, src, err = takeString(src); err != nil {
+		return s, err
+	}
+	if len(src) < 21 {
+		return s, fmt.Errorf("%w: truncated flags", ErrBadFrame)
+	}
+	s.Frozen = src[0]&1 != 0
+	s.Partial = src[0]&2 != 0
+	s.Version = binary.BigEndian.Uint64(src[1:9])
+	s.Base = binary.BigEndian.Uint64(src[9:17])
+	nRemoved := int(binary.BigEndian.Uint32(src[17:21]))
+	src = src[21:]
+	if nRemoved < 0 || nRemoved > len(src) {
+		return s, fmt.Errorf("%w: implausible removed count %d", ErrBadFrame, nRemoved)
+	}
+	for i := 0; i < nRemoved; i++ {
+		var name string
+		if name, src, err = takeString(src); err != nil {
+			return s, err
+		}
+		s.Removed = append(s.Removed, name)
+	}
+	if s.Rep, src, err = takeBytes(src); err != nil {
+		return s, err
+	}
+	if len(src) != 0 {
+		return s, fmt.Errorf("%w: trailing bytes", ErrBadFrame)
+	}
+	return s, nil
+}

@@ -1,0 +1,113 @@
+// Package rights implements the access-right component of Eden
+// capabilities.
+//
+// A capability "contains both unique names and access rights";
+// possession of a capability implies "the ability to manipulate that
+// object's representation by invoking some subset of the operations
+// defined for objects of that type". Rights are a small bit-set: a
+// handful of kernel-defined rights plus sixteen type-defined bits whose
+// meaning is chosen by each type manager (e.g. which operations a
+// holder may invoke).
+package rights
+
+import "strings"
+
+// Set is a bit-set of rights carried by a capability.
+type Set uint32
+
+// Kernel-defined rights. The low half of the word is reserved for the
+// kernel; the high half is free for type managers (see Type).
+const (
+	// Invoke permits invoking operations on the object at all. A
+	// capability without Invoke is a pure name: it identifies the
+	// object but confers no access.
+	Invoke Set = 1 << iota
+	// Checkpoint permits asking the kernel to checkpoint the object
+	// and to set its checksite.
+	Checkpoint
+	// Move permits relocating the object to another node.
+	Move
+	// Freeze permits making the object's representation immutable so
+	// it can be replicated and cached.
+	Freeze
+	// Destroy permits crashing the object and deleting its long-term
+	// state.
+	Destroy
+	// Grant permits fabricating further capabilities for the object
+	// with rights no greater than one's own.
+	Grant
+
+	numKernelRights = iota
+)
+
+// None is the empty rights set.
+const None Set = 0
+
+// Kernel is the set of all kernel-defined rights.
+const Kernel Set = 1<<numKernelRights - 1
+
+// AllTypes is the set of all sixteen type-defined rights.
+const AllTypes Set = 0xFFFF << 16
+
+// All is every right, kernel- and type-defined.
+const All = Kernel | AllTypes
+
+// Type returns the i'th type-defined right (0 ≤ i < 16). The meaning
+// of each bit is private to the type manager that interprets it; by
+// convention bit i guards invocation class i. Type panics if i is out
+// of range, since the caller has made a static mistake.
+func Type(i int) Set {
+	if i < 0 || i >= 16 {
+		panic("rights: type right index out of range")
+	}
+	return 1 << (16 + uint(i))
+}
+
+// Has reports whether s includes every right in want.
+func (s Set) Has(want Set) bool { return s&want == want }
+
+// HasAny reports whether s includes at least one right in want.
+func (s Set) HasAny(want Set) bool { return s&want != 0 }
+
+// Restrict returns the rights of s limited to those also in mask.
+// Restriction is the only way new capabilities derive rights, so
+// rights amplification is impossible by construction.
+func (s Set) Restrict(mask Set) Set { return s & mask }
+
+// Union returns the combined rights of s and t. It is used only when
+// the same principal already holds both; it never appears on the
+// capability-derivation path.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Without returns s with the rights in drop removed.
+func (s Set) Without(drop Set) Set { return s &^ drop }
+
+// IsSubsetOf reports whether every right in s is also in t.
+func (s Set) IsSubsetOf(t Set) bool { return s&t == s }
+
+var kernelNames = [numKernelRights]string{
+	"invoke", "checkpoint", "move", "freeze", "destroy", "grant",
+}
+
+// String renders the set as a "+"-joined list of right names, e.g.
+// "invoke+grant+t3". The empty set renders as "none".
+func (s Set) String() string {
+	if s == None {
+		return "none"
+	}
+	var parts []string
+	for i, name := range kernelNames {
+		if s.Has(1 << uint(i)) {
+			parts = append(parts, name)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		if s.Has(Type(i)) {
+			parts = append(parts, "t"+string(rune('0'+i/10))+string(rune('0'+i%10)))
+		}
+	}
+	if len(parts) == 0 {
+		return "reserved"
+	}
+	return strings.Join(parts, "+")
+}

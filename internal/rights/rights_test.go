@@ -1,0 +1,158 @@
+package rights
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHas(t *testing.T) {
+	s := Invoke | Grant
+	if !s.Has(Invoke) {
+		t.Error("Has(Invoke) = false on set containing Invoke")
+	}
+	if !s.Has(Invoke | Grant) {
+		t.Error("Has of exact set = false")
+	}
+	if s.Has(Invoke | Move) {
+		t.Error("Has = true for right not in set")
+	}
+	if !s.Has(None) {
+		t.Error("every set must contain the empty set")
+	}
+}
+
+func TestHasAny(t *testing.T) {
+	s := Invoke | Grant
+	if !s.HasAny(Invoke | Move) {
+		t.Error("HasAny missed overlapping right")
+	}
+	if s.HasAny(Move | Destroy) {
+		t.Error("HasAny = true with no overlap")
+	}
+	if s.HasAny(None) {
+		t.Error("HasAny(None) must be false")
+	}
+}
+
+func TestRestrictNeverAmplifies(t *testing.T) {
+	f := func(s, mask uint32) bool {
+		return Set(s).Restrict(Set(mask)).IsSubsetOf(Set(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRestrictIsIntersection(t *testing.T) {
+	s := Invoke | Move | Type(2)
+	got := s.Restrict(Invoke | Type(2) | Destroy)
+	want := Invoke | Type(2)
+	if got != want {
+		t.Errorf("Restrict = %v, want %v", got, want)
+	}
+}
+
+func TestWithout(t *testing.T) {
+	s := All
+	got := s.Without(Destroy | Grant)
+	if got.HasAny(Destroy | Grant) {
+		t.Error("Without left a dropped right")
+	}
+	if !got.Has(Invoke | Move | Freeze | Checkpoint) {
+		t.Error("Without removed rights it should have kept")
+	}
+}
+
+func TestUnionRestrictDuality(t *testing.T) {
+	f := func(a, b uint32) bool {
+		sa, sb := Set(a), Set(b)
+		u := sa.Union(sb)
+		return sa.IsSubsetOf(u) && sb.IsSubsetOf(u) &&
+			u.Restrict(sa) == sa && u.Restrict(sb) == sb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernelAndTypeSpacesDisjoint(t *testing.T) {
+	if Kernel.HasAny(AllTypes) {
+		t.Error("kernel and type right spaces overlap")
+	}
+	if Kernel|AllTypes != All {
+		// All may also include reserved bits by definition; it must at
+		// least cover the two spaces exactly as declared.
+		t.Error("All does not equal Kernel|AllTypes")
+	}
+}
+
+func TestTypeRights(t *testing.T) {
+	seen := make(map[Set]bool)
+	for i := 0; i < 16; i++ {
+		r := Type(i)
+		if seen[r] {
+			t.Fatalf("Type(%d) collides with an earlier type right", i)
+		}
+		seen[r] = true
+		if !r.IsSubsetOf(AllTypes) {
+			t.Errorf("Type(%d) outside AllTypes", i)
+		}
+		if r.HasAny(Kernel) {
+			t.Errorf("Type(%d) overlaps kernel rights", i)
+		}
+	}
+}
+
+func TestTypePanicsOutOfRange(t *testing.T) {
+	for _, i := range []int{-1, 16, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Type(%d) did not panic", i)
+				}
+			}()
+			Type(i)
+		}()
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		s    Set
+		want string
+	}{
+		{None, "none"},
+		{Invoke, "invoke"},
+		{Invoke | Grant, "invoke+grant"},
+		{Type(3), "t03"},
+		{Invoke | Type(12), "invoke+t12"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("(%#x).String() = %q, want %q", uint32(c.s), got, c.want)
+		}
+	}
+	// All must mention every kernel right.
+	all := All.String()
+	for _, name := range []string{"invoke", "checkpoint", "move", "freeze", "destroy", "grant"} {
+		if !strings.Contains(all, name) {
+			t.Errorf("All.String() = %q missing %q", all, name)
+		}
+	}
+}
+
+func TestIsSubsetOfReflexiveTransitive(t *testing.T) {
+	f := func(a, b, c uint32) bool {
+		sa, sb, sc := Set(a), Set(b), Set(c)
+		if !sa.IsSubsetOf(sa) {
+			return false
+		}
+		ab := sa.Restrict(sb) // ab ⊆ sa and ⊆ sb
+		abc := ab.Restrict(sc)
+		return ab.IsSubsetOf(sa) && ab.IsSubsetOf(sb) && abc.IsSubsetOf(ab)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

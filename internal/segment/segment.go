@@ -1,0 +1,452 @@
+// Package segment implements the representation of an Eden object: the
+// "data and capability segments that form the object's long-term
+// state".
+//
+// A Representation is a set of named segments. Data segments hold
+// uninterpreted bytes; capability segments hold capability lists (the
+// kernel must know where capabilities live so they can be relocated and
+// restricted when representations cross trust or machine boundaries).
+// Representations have a deterministic binary encoding with a whole-
+// representation checksum, which is what the checkpoint machinery
+// writes to long-term storage and what move ships between nodes.
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"eden/internal/capability"
+)
+
+// Kind distinguishes the two segment kinds of the iAPX-432-style
+// representation model.
+type Kind uint8
+
+// Segment kinds.
+const (
+	// Data is a segment of uninterpreted bytes.
+	Data Kind = iota + 1
+	// Caps is a segment holding a capability list.
+	Caps
+)
+
+// String returns "data" or "caps".
+func (k Kind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Caps:
+		return "caps"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Errors reported by this package.
+var (
+	// ErrBadEncoding reports a malformed or corrupted encoded
+	// representation.
+	ErrBadEncoding = errors.New("segment: malformed encoding")
+	// ErrKind reports an access to a segment with the wrong kind, e.g.
+	// reading a capability list out of a data segment.
+	ErrKind = errors.New("segment: wrong segment kind")
+	// ErrNoSegment reports an access to a segment name that does not
+	// exist in the representation.
+	ErrNoSegment = errors.New("segment: no such segment")
+)
+
+// Segment is one named piece of an object's long-term state.
+type Segment struct {
+	kind Kind
+	data []byte          // kind == Data
+	caps capability.List // kind == Caps
+}
+
+// Kind returns the segment's kind.
+func (s *Segment) Kind() Kind { return s.kind }
+
+// Len returns the number of bytes (data segment) or capabilities
+// (capability segment) the segment holds.
+func (s *Segment) Len() int {
+	if s.kind == Caps {
+		return len(s.caps)
+	}
+	return len(s.data)
+}
+
+// Representation is the complete long-term state of one object: a
+// mapping from segment names to segments. The zero value is an empty
+// representation ready to use. A Representation is not safe for
+// concurrent mutation; in Eden the owning object's coordinator
+// serializes access.
+type Representation struct {
+	segs  map[string]*Segment
+	dirty map[string]bool // segment-level change tracking; see Dirty
+}
+
+// New returns an empty representation.
+func New() *Representation {
+	return &Representation{segs: make(map[string]*Segment)}
+}
+
+func (r *Representation) init() {
+	if r.segs == nil {
+		r.segs = make(map[string]*Segment)
+	}
+}
+
+// SetData installs (or replaces) the named data segment with a copy of
+// b. Passing nil b installs an empty data segment.
+func (r *Representation) SetData(name string, b []byte) {
+	r.init()
+	r.segs[name] = &Segment{kind: Data, data: append([]byte(nil), b...)}
+	r.markDirty(name, false)
+}
+
+// SetCaps installs (or replaces) the named capability segment with a
+// copy of l.
+func (r *Representation) SetCaps(name string, l capability.List) {
+	r.init()
+	r.segs[name] = &Segment{kind: Caps, caps: l.Clone()}
+	r.markDirty(name, false)
+}
+
+// Data returns a copy of the named data segment's bytes.
+func (r *Representation) Data(name string) ([]byte, error) {
+	s, ok := r.segs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSegment, name)
+	}
+	if s.kind != Data {
+		return nil, fmt.Errorf("%w: %q is %v, not data", ErrKind, name, s.kind)
+	}
+	return append([]byte(nil), s.data...), nil
+}
+
+// Caps returns a copy of the named capability segment's list.
+func (r *Representation) Caps(name string) (capability.List, error) {
+	s, ok := r.segs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSegment, name)
+	}
+	if s.kind != Caps {
+		return nil, fmt.Errorf("%w: %q is %v, not caps", ErrKind, name, s.kind)
+	}
+	return s.caps.Clone(), nil
+}
+
+// Delete removes the named segment if present.
+func (r *Representation) Delete(name string) {
+	if _, ok := r.segs[name]; ok {
+		delete(r.segs, name)
+		r.markDirty(name, true)
+	}
+}
+
+// Has reports whether the named segment exists.
+func (r *Representation) Has(name string) bool {
+	_, ok := r.segs[name]
+	return ok
+}
+
+// Names returns the segment names in sorted order.
+func (r *Representation) Names() []string {
+	names := make([]string, 0, len(r.segs))
+	for n := range r.segs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NumSegments returns the number of segments in the representation.
+func (r *Representation) NumSegments() int { return len(r.segs) }
+
+// Size returns the total payload size: bytes of data plus encoded bytes
+// of capabilities. It is the quantity the node's virtual memory budget
+// accounts for.
+func (r *Representation) Size() int {
+	total := 0
+	for _, s := range r.segs {
+		if s.kind == Data {
+			total += len(s.data)
+		} else {
+			total += len(s.caps) * capability.EncodedSize
+		}
+	}
+	return total
+}
+
+// Capabilities returns every capability reachable from the
+// representation, across all capability segments. The kernel uses this
+// to discover inter-object references (e.g. for location prefetch).
+func (r *Representation) Capabilities() capability.List {
+	var out capability.List
+	for _, name := range r.Names() {
+		if s := r.segs[name]; s.kind == Caps {
+			out = append(out, s.caps...)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the representation. Checkpointing
+// clones so the object may keep mutating while the snapshot is written.
+func (r *Representation) Clone() *Representation {
+	out := New()
+	for name, s := range r.segs {
+		if s.kind == Data {
+			out.SetData(name, s.data)
+		} else {
+			out.SetCaps(name, s.caps)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two representations have identical segment
+// names, kinds and contents.
+func (r *Representation) Equal(o *Representation) bool {
+	if len(r.segs) != len(o.segs) {
+		return false
+	}
+	for name, s := range r.segs {
+		t, ok := o.segs[name]
+		if !ok || s.kind != t.kind {
+			return false
+		}
+		switch s.kind {
+		case Data:
+			if string(s.data) != string(t.data) {
+				return false
+			}
+		case Caps:
+			if len(s.caps) != len(t.caps) {
+				return false
+			}
+			for i := range s.caps {
+				if s.caps[i] != t.caps[i] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Encoding format:
+//
+//	magic   uint32  'E''d''R''1'
+//	nsegs   uint32
+//	per segment (in sorted name order, for determinism):
+//	  nameLen uint16, name bytes
+//	  kind    uint8
+//	  bodyLen uint32, body bytes (raw data, or encoded capability list)
+//	crc32   uint32 (IEEE, over everything before it)
+const encMagic = 0x45645231 // "EdR1"
+
+// Encode appends the deterministic binary form of the representation
+// (including its trailing checksum) to dst.
+func (r *Representation) Encode(dst []byte) []byte {
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint32(dst, encMagic)
+	names := r.Names()
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(names)))
+	for _, name := range names {
+		s := r.segs[name]
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(name)))
+		dst = append(dst, name...)
+		dst = append(dst, byte(s.kind))
+		var body []byte
+		if s.kind == Data {
+			body = s.data
+		} else {
+			body = capability.EncodeList(nil, s.caps)
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(body)))
+		dst = append(dst, body...)
+	}
+	crc := crc32.ChecksumIEEE(dst[start:])
+	return binary.BigEndian.AppendUint32(dst, crc)
+}
+
+// Decode parses a representation from the front of src, returning it
+// and the remaining bytes. Any structural damage — truncation, a bad
+// magic number, a failed checksum — yields ErrBadEncoding.
+func Decode(src []byte) (*Representation, []byte, error) {
+	orig := src
+	if len(src) < 8 {
+		return nil, orig, fmt.Errorf("%w: truncated header", ErrBadEncoding)
+	}
+	if binary.BigEndian.Uint32(src) != encMagic {
+		return nil, orig, fmt.Errorf("%w: bad magic", ErrBadEncoding)
+	}
+	nsegs := int(binary.BigEndian.Uint32(src[4:]))
+	body := src[8:]
+	consumed := 8
+	r := New()
+	for i := 0; i < nsegs; i++ {
+		if len(body) < 2 {
+			return nil, orig, fmt.Errorf("%w: truncated name length", ErrBadEncoding)
+		}
+		nameLen := int(binary.BigEndian.Uint16(body))
+		body = body[2:]
+		consumed += 2
+		if len(body) < nameLen+5 {
+			return nil, orig, fmt.Errorf("%w: truncated segment %d", ErrBadEncoding, i)
+		}
+		name := string(body[:nameLen])
+		kind := Kind(body[nameLen])
+		bodyLen := int(binary.BigEndian.Uint32(body[nameLen+1:]))
+		body = body[nameLen+5:]
+		consumed += nameLen + 5
+		if bodyLen < 0 || len(body) < bodyLen {
+			return nil, orig, fmt.Errorf("%w: truncated body of %q", ErrBadEncoding, name)
+		}
+		seg := body[:bodyLen]
+		switch kind {
+		case Data:
+			r.SetData(name, seg)
+		case Caps:
+			l, rest, err := capability.DecodeList(seg)
+			if err != nil {
+				return nil, orig, fmt.Errorf("%w: segment %q: %v", ErrBadEncoding, name, err)
+			}
+			if len(rest) != 0 {
+				return nil, orig, fmt.Errorf("%w: segment %q has trailing bytes", ErrBadEncoding, name)
+			}
+			r.SetCaps(name, l)
+		default:
+			return nil, orig, fmt.Errorf("%w: segment %q has unknown kind %d", ErrBadEncoding, name, kind)
+		}
+		body = body[bodyLen:]
+		consumed += bodyLen
+	}
+	if len(body) < 4 {
+		return nil, orig, fmt.Errorf("%w: truncated checksum", ErrBadEncoding)
+	}
+	want := binary.BigEndian.Uint32(body)
+	if got := crc32.ChecksumIEEE(orig[:consumed]); got != want {
+		return nil, orig, fmt.Errorf("%w: checksum mismatch", ErrBadEncoding)
+	}
+	return r, body[4:], nil
+}
+
+// ---- dirty tracking (incremental checkpoint support) ----
+//
+// A Representation records which segments changed since the last
+// MarkClean, so the checkpoint machinery can ship only the delta to a
+// remote checksite that already holds the previous version.
+
+// markDirty notes a change to the named segment.
+func (r *Representation) markDirty(name string, deleted bool) {
+	if r.dirty == nil {
+		r.dirty = make(map[string]bool)
+	}
+	// dirty[name] = true means "present and changed"; false means
+	// "deleted". The latest change wins.
+	r.dirty[name] = !deleted
+}
+
+// Dirty returns the names of segments changed (set) and removed
+// (deleted) since the last MarkClean, each sorted.
+func (r *Representation) Dirty() (changed, removed []string) {
+	for name, present := range r.dirty {
+		if present {
+			changed = append(changed, name)
+		} else {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(changed)
+	sort.Strings(removed)
+	return changed, removed
+}
+
+// HasDirty reports whether any change was recorded since MarkClean.
+func (r *Representation) HasDirty() bool { return len(r.dirty) > 0 }
+
+// MarkClean forgets the recorded changes (after a successful full or
+// incremental checkpoint).
+func (r *Representation) MarkClean() { r.dirty = nil }
+
+// TakeDirty removes and returns the change-tracking state, leaving the
+// representation clean. If the checkpoint consuming the changes fails,
+// RestoreDirty merges them back; changes recorded in between are
+// preserved either way.
+func (r *Representation) TakeDirty() map[string]bool {
+	d := r.dirty
+	r.dirty = nil
+	return d
+}
+
+// RestoreDirty merges previously taken change-tracking state back in
+// (newer marks win).
+func (r *Representation) RestoreDirty(taken map[string]bool) {
+	if len(taken) == 0 {
+		return
+	}
+	if r.dirty == nil {
+		r.dirty = make(map[string]bool, len(taken))
+	}
+	for name, present := range taken {
+		if _, newer := r.dirty[name]; !newer {
+			r.dirty[name] = present
+		}
+	}
+}
+
+// DirtyFromTaken splits taken change state into changed and removed
+// name lists, sorted.
+func DirtyFromTaken(taken map[string]bool) (changed, removed []string) {
+	for name, present := range taken {
+		if present {
+			changed = append(changed, name)
+		} else {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(changed)
+	sort.Strings(removed)
+	return changed, removed
+}
+
+// EncodePartial encodes only the named segments, in the same wire
+// format as Encode; names absent from the representation are skipped.
+// Decoding a partial encoding yields a sub-representation that Merge
+// applies onto a base.
+func (r *Representation) EncodePartial(names []string, dst []byte) []byte {
+	sub := New()
+	for _, name := range names {
+		s, ok := r.segs[name]
+		if !ok {
+			continue
+		}
+		if s.kind == Data {
+			sub.SetData(name, s.data)
+		} else {
+			sub.SetCaps(name, s.caps)
+		}
+	}
+	return sub.Encode(dst)
+}
+
+// Merge applies a partial representation onto r: every segment in
+// partial replaces (or adds to) r's, and every name in removed is
+// deleted. Merge does not touch r's dirty tracking.
+func (r *Representation) Merge(partial *Representation, removed []string) {
+	r.init()
+	for name, s := range partial.segs {
+		if s.kind == Data {
+			r.segs[name] = &Segment{kind: Data, data: append([]byte(nil), s.data...)}
+		} else {
+			r.segs[name] = &Segment{kind: Caps, caps: s.caps.Clone()}
+		}
+	}
+	for _, name := range removed {
+		delete(r.segs, name)
+	}
+}

@@ -1,0 +1,328 @@
+package segment
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"eden/internal/capability"
+	"eden/internal/edenid"
+	"eden/internal/rights"
+)
+
+var gen = edenid.NewGenerator(1)
+
+func sampleRep() *Representation {
+	r := New()
+	r.SetData("state", []byte("hello, eden"))
+	r.SetData("empty", nil)
+	r.SetCaps("refs", capability.List{
+		capability.New(gen.Next(), rights.All),
+		capability.New(gen.Next(), rights.Invoke),
+	})
+	return r
+}
+
+func TestSetGetData(t *testing.T) {
+	r := New()
+	r.SetData("s", []byte{1, 2, 3})
+	got, err := r.Data("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Data = %v", got)
+	}
+	// The returned slice must be a copy.
+	got[0] = 99
+	again, _ := r.Data("s")
+	if again[0] != 1 {
+		t.Error("Data returned aliased storage")
+	}
+}
+
+func TestSetDataCopiesInput(t *testing.T) {
+	b := []byte{1, 2, 3}
+	r := New()
+	r.SetData("s", b)
+	b[0] = 99
+	got, _ := r.Data("s")
+	if got[0] != 1 {
+		t.Error("SetData aliased caller's slice")
+	}
+}
+
+func TestSetGetCaps(t *testing.T) {
+	c := capability.New(gen.Next(), rights.Invoke)
+	r := New()
+	r.SetCaps("refs", capability.List{c})
+	got, err := r.Caps("refs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != c {
+		t.Errorf("Caps = %v", got)
+	}
+}
+
+func TestKindMismatch(t *testing.T) {
+	r := sampleRep()
+	if _, err := r.Caps("state"); !errors.Is(err, ErrKind) {
+		t.Errorf("Caps on data segment: err = %v, want ErrKind", err)
+	}
+	if _, err := r.Data("refs"); !errors.Is(err, ErrKind) {
+		t.Errorf("Data on caps segment: err = %v, want ErrKind", err)
+	}
+}
+
+func TestNoSuchSegment(t *testing.T) {
+	r := New()
+	if _, err := r.Data("missing"); !errors.Is(err, ErrNoSegment) {
+		t.Errorf("err = %v, want ErrNoSegment", err)
+	}
+	if _, err := r.Caps("missing"); !errors.Is(err, ErrNoSegment) {
+		t.Errorf("err = %v, want ErrNoSegment", err)
+	}
+}
+
+func TestDeleteAndHas(t *testing.T) {
+	r := sampleRep()
+	if !r.Has("state") {
+		t.Error("Has(state) = false")
+	}
+	r.Delete("state")
+	if r.Has("state") {
+		t.Error("segment survives Delete")
+	}
+	r.Delete("state") // deleting absent segment is a no-op
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := sampleRep()
+	names := r.Names()
+	want := []string{"empty", "refs", "state"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("Names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	r := New()
+	if r.Size() != 0 {
+		t.Errorf("empty Size = %d", r.Size())
+	}
+	r.SetData("a", make([]byte, 100))
+	r.SetCaps("b", capability.List{capability.New(gen.Next(), rights.All)})
+	want := 100 + capability.EncodedSize
+	if r.Size() != want {
+		t.Errorf("Size = %d, want %d", r.Size(), want)
+	}
+	// Replacing shrinks accounting too.
+	r.SetData("a", make([]byte, 10))
+	if r.Size() != 10+capability.EncodedSize {
+		t.Errorf("Size after replace = %d", r.Size())
+	}
+}
+
+func TestCapabilitiesAcrossSegments(t *testing.T) {
+	a := capability.New(gen.Next(), rights.All)
+	b := capability.New(gen.Next(), rights.Invoke)
+	r := New()
+	r.SetCaps("zz", capability.List{b})
+	r.SetCaps("aa", capability.List{a})
+	r.SetData("dd", []byte("x"))
+	got := r.Capabilities()
+	if len(got) != 2 {
+		t.Fatalf("Capabilities len = %d", len(got))
+	}
+	// Deterministic (sorted by segment name) order: aa before zz.
+	if got[0] != a || got[1] != b {
+		t.Errorf("Capabilities order = %v", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := sampleRep()
+	c := r.Clone()
+	if !r.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.SetData("state", []byte("mutated"))
+	if r.Equal(c) {
+		t.Error("mutating clone changed original (or Equal is broken)")
+	}
+	orig, _ := r.Data("state")
+	if string(orig) != "hello, eden" {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := sampleRep(), sampleRep()
+	// sampleRep mints fresh capability IDs each call, so b differs.
+	if a.Equal(b) {
+		t.Error("representations with different capabilities compare equal")
+	}
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Error("clone compares unequal")
+	}
+	c.Delete("empty")
+	if a.Equal(c) {
+		t.Error("missing segment not detected")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := sampleRep()
+	buf := r.Encode(nil)
+	got, rest, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("%d residual bytes", len(rest))
+	}
+	if !r.Equal(got) {
+		t.Error("round trip changed representation")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	r := sampleRep()
+	a := r.Encode(nil)
+	b := r.Clone().Encode(nil)
+	if !bytes.Equal(a, b) {
+		t.Error("encoding is not deterministic across clones")
+	}
+}
+
+func TestEncodeEmpty(t *testing.T) {
+	r := New()
+	got, rest, err := Decode(r.Encode(nil))
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("Decode empty: %v", err)
+	}
+	if got.NumSegments() != 0 {
+		t.Errorf("empty round trip has %d segments", got.NumSegments())
+	}
+}
+
+func TestDecodeWithTail(t *testing.T) {
+	buf := append(sampleRep().Encode(nil), 1, 2, 3)
+	_, rest, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 3 {
+		t.Errorf("rest = %d bytes, want 3", len(rest))
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	buf := sampleRep().Encode(nil)
+	for _, i := range []int{0, 5, 9, len(buf) / 2, len(buf) - 1} {
+		bad := append([]byte(nil), buf...)
+		bad[i] ^= 0x20
+		if _, _, err := Decode(bad); err == nil {
+			t.Errorf("Decode accepted corruption at byte %d", i)
+		}
+	}
+	for _, n := range []int{0, 4, 7, len(buf) - 1} {
+		if _, _, err := Decode(buf[:n]); err == nil {
+			t.Errorf("Decode accepted truncation to %d bytes", n)
+		}
+	}
+}
+
+// Property: encode→decode is the identity for arbitrary data contents.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(a, b []byte, nCaps uint8) bool {
+		r := New()
+		r.SetData("a", a)
+		r.SetData("b", b)
+		l := make(capability.List, int(nCaps)%10)
+		for i := range l {
+			l[i] = capability.New(gen.Next(), rights.Set(i))
+		}
+		r.SetCaps("c", l)
+		got, rest, err := Decode(r.Encode(nil))
+		return err == nil && len(rest) == 0 && r.Equal(got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r Representation
+	r.SetData("x", []byte("y"))
+	if got, err := r.Data("x"); err != nil || string(got) != "y" {
+		t.Errorf("zero-value Representation unusable: %v %q", err, got)
+	}
+}
+
+func BenchmarkEncode4K(b *testing.B) {
+	r := New()
+	r.SetData("state", make([]byte, 4096))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Encode(nil)
+	}
+}
+
+func BenchmarkDecode4K(b *testing.B) {
+	r := New()
+	r.SetData("state", make([]byte, 4096))
+	buf := r.Encode(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: Decode never panics on arbitrary bytes.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(b []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Decode panicked on %x: %v", b, r)
+				ok = false
+			}
+		}()
+		_, _, _ = Decode(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Decode also survives structured-looking prefixes: a valid
+// encoding with arbitrary corruption spliced into the middle.
+func TestQuickDecodeCorruptedValid(t *testing.T) {
+	base := sampleRep().Encode(nil)
+	f := func(pos uint16, val byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Decode panicked: %v", r)
+				ok = false
+			}
+		}()
+		buf := append([]byte(nil), base...)
+		buf[int(pos)%len(buf)] = val
+		_, _, _ = Decode(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

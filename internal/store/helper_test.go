@@ -1,0 +1,6 @@
+package store
+
+import "os"
+
+// writeRaw writes arbitrary bytes to path for junk-file tests.
+func writeRaw(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }

@@ -1,0 +1,336 @@
+// Package store implements Eden's long-term storage: the medium on
+// which checkpointed object representations survive node failures.
+//
+// "An object can request that the kernel record its long-term state
+// (representation) on a reliable storage medium through invocation of
+// the kernel checkpoint primitive. ... Following a node failure, if an
+// invocation is received, the object will be reincarnated from the
+// state that existed at the time the most recent checkpoint was
+// executed."
+//
+// A Store maps object names to versioned checkpoint records. Writes
+// are atomic per record: a reader either sees the previous checkpoint
+// or the new one, never a torn mixture — which is exactly the guarantee
+// reincarnation needs. Two implementations are provided: an in-memory
+// store (with injectable media failure, for the experiment suite) and a
+// file-backed store that survives process restarts via
+// write-temp-then-rename.
+package store
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"eden/internal/edenid"
+)
+
+// Errors reported by stores.
+var (
+	// ErrNotFound reports that an object has no checkpoint in this
+	// store.
+	ErrNotFound = errors.New("store: no checkpoint for object")
+	// ErrFailed reports injected or real media failure.
+	ErrFailed = errors.New("store: media failure")
+	// ErrStale rejects a checkpoint whose version does not advance the
+	// stored one; it protects against a delayed duplicate overwriting
+	// newer state.
+	ErrStale = errors.New("store: stale checkpoint version")
+)
+
+// Record is one checkpoint: an object's identity, its type, and its
+// encoded representation at some version.
+type Record struct {
+	// Object names the checkpointed object.
+	Object edenid.ID
+	// TypeName identifies the type manager needed to reincarnate.
+	TypeName string
+	// Version is the checkpoint sequence number, increasing per
+	// object.
+	Version uint64
+	// Frozen marks an immutable representation.
+	Frozen bool
+	// Rep is the encoded representation (segment wire form).
+	Rep []byte
+}
+
+// Store is the long-term storage interface the kernel checkpoints
+// against. Implementations must be safe for concurrent use.
+type Store interface {
+	// Put installs a checkpoint atomically. It fails with ErrStale if
+	// rec.Version is not greater than the stored version.
+	Put(rec Record) error
+	// Get returns the most recent checkpoint for the object.
+	Get(id edenid.ID) (Record, error)
+	// Delete removes an object's checkpoint (object destruction).
+	Delete(id edenid.ID) error
+	// List returns the IDs of all checkpointed objects, sorted.
+	List() ([]edenid.ID, error)
+}
+
+// Memory is an in-memory Store with injectable failure, used by tests
+// and the failure-injection experiments. The zero value is ready to
+// use.
+type Memory struct {
+	mu   sync.RWMutex
+	recs map[edenid.ID]Record
+	fail error // when non-nil, every operation fails with this
+}
+
+var _ Store = (*Memory)(nil)
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory { return &Memory{recs: make(map[edenid.ID]Record)} }
+
+// FailWith makes every subsequent operation fail with err (pass nil to
+// heal the medium).
+func (m *Memory) FailWith(err error) {
+	m.mu.Lock()
+	m.fail = err
+	m.mu.Unlock()
+}
+
+// Put implements Store.
+func (m *Memory) Put(rec Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fail != nil {
+		return m.fail
+	}
+	if m.recs == nil {
+		m.recs = make(map[edenid.ID]Record)
+	}
+	if prev, ok := m.recs[rec.Object]; ok && rec.Version <= prev.Version {
+		return fmt.Errorf("%w: have v%d, got v%d", ErrStale, prev.Version, rec.Version)
+	}
+	rec.Rep = append([]byte(nil), rec.Rep...)
+	m.recs[rec.Object] = rec
+	return nil
+}
+
+// Get implements Store.
+func (m *Memory) Get(id edenid.ID) (Record, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.fail != nil {
+		return Record{}, m.fail
+	}
+	rec, ok := m.recs[id]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	rec.Rep = append([]byte(nil), rec.Rep...)
+	return rec, nil
+}
+
+// Delete implements Store.
+func (m *Memory) Delete(id edenid.ID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fail != nil {
+		return m.fail
+	}
+	delete(m.recs, id)
+	return nil
+}
+
+// List implements Store.
+func (m *Memory) List() ([]edenid.ID, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.fail != nil {
+		return nil, m.fail
+	}
+	out := make([]edenid.ID, 0, len(m.recs))
+	for id := range m.recs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return edenid.Compare(out[i], out[j]) < 0 })
+	return out, nil
+}
+
+// Len returns the number of checkpointed objects.
+func (m *Memory) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.recs)
+}
+
+// File is a Store keeping one file per object under a directory,
+// written atomically (temp file + rename) so a crash mid-checkpoint
+// leaves the previous checkpoint intact.
+type File struct {
+	dir string
+	mu  sync.Mutex
+}
+
+var _ Store = (*File)(nil)
+
+// fileMagic heads every checkpoint file.
+const fileMagic = "EDENCKP1"
+
+// NewFile opens (creating if needed) a file-backed store rooted at dir.
+func NewFile(dir string) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &File{dir: dir}, nil
+}
+
+func (f *File) path(id edenid.ID) string {
+	return filepath.Join(f.dir, fmt.Sprintf("%032x.ckp", id[:]))
+}
+
+// encodeRecord lays a record out as:
+// magic | version(8) | frozen(1) | typeLen(4) type | repLen(4) rep
+func encodeRecord(rec Record) []byte {
+	buf := make([]byte, 0, len(fileMagic)+8+1+4+len(rec.TypeName)+4+len(rec.Rep)+edenid.Size)
+	buf = append(buf, fileMagic...)
+	buf = rec.Object.Encode(buf)
+	buf = append(buf,
+		byte(rec.Version>>56), byte(rec.Version>>48), byte(rec.Version>>40), byte(rec.Version>>32),
+		byte(rec.Version>>24), byte(rec.Version>>16), byte(rec.Version>>8), byte(rec.Version))
+	if rec.Frozen {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = append(buf, byte(len(rec.TypeName)>>24), byte(len(rec.TypeName)>>16), byte(len(rec.TypeName)>>8), byte(len(rec.TypeName)))
+	buf = append(buf, rec.TypeName...)
+	buf = append(buf, byte(len(rec.Rep)>>24), byte(len(rec.Rep)>>16), byte(len(rec.Rep)>>8), byte(len(rec.Rep)))
+	return append(buf, rec.Rep...)
+}
+
+func decodeRecord(b []byte) (Record, error) {
+	var rec Record
+	if len(b) < len(fileMagic) || string(b[:len(fileMagic)]) != fileMagic {
+		return rec, fmt.Errorf("%w: bad magic", ErrFailed)
+	}
+	b = b[len(fileMagic):]
+	id, b, err := edenid.Decode(b)
+	if err != nil {
+		return rec, fmt.Errorf("%w: %v", ErrFailed, err)
+	}
+	rec.Object = id
+	if len(b) < 13 {
+		return rec, fmt.Errorf("%w: truncated header", ErrFailed)
+	}
+	for i := 0; i < 8; i++ {
+		rec.Version = rec.Version<<8 | uint64(b[i])
+	}
+	rec.Frozen = b[8] != 0
+	tl := int(b[9])<<24 | int(b[10])<<16 | int(b[11])<<8 | int(b[12])
+	b = b[13:]
+	if tl < 0 || len(b) < tl+4 {
+		return rec, fmt.Errorf("%w: truncated type name", ErrFailed)
+	}
+	rec.TypeName = string(b[:tl])
+	b = b[tl:]
+	rl := int(b[0])<<24 | int(b[1])<<16 | int(b[2])<<8 | int(b[3])
+	b = b[4:]
+	if rl < 0 || len(b) != rl {
+		return rec, fmt.Errorf("%w: representation length mismatch", ErrFailed)
+	}
+	rec.Rep = append([]byte(nil), b...)
+	return rec, nil
+}
+
+// Put implements Store with an atomic temp-file-and-rename write.
+func (f *File) Put(rec Record) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if prev, err := f.getLocked(rec.Object); err == nil && rec.Version <= prev.Version {
+		return fmt.Errorf("%w: have v%d, got v%d", ErrStale, prev.Version, rec.Version)
+	}
+	tmp, err := os.CreateTemp(f.dir, "ckp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(encodeRecord(rec)); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmpName, f.path(rec.Object)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+func (f *File) getLocked(id edenid.ID) (Record, error) {
+	b, err := os.ReadFile(f.path(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Record{}, fmt.Errorf("%w: %v", ErrNotFound, id)
+		}
+		return Record{}, fmt.Errorf("store: %w", err)
+	}
+	rec, err := decodeRecord(b)
+	if err != nil {
+		return Record{}, err
+	}
+	if rec.Object != id {
+		return Record{}, fmt.Errorf("%w: checkpoint file names %v", ErrFailed, rec.Object)
+	}
+	return rec, nil
+}
+
+// Get implements Store.
+func (f *File) Get(id edenid.ID) (Record, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.getLocked(id)
+}
+
+// Delete implements Store.
+func (f *File) Delete(id edenid.ID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := os.Remove(f.path(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// List implements Store.
+func (f *File) List() ([]edenid.ID, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []edenid.ID
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) != ".ckp" {
+			continue
+		}
+		raw, err := hex.DecodeString(name[:len(name)-4])
+		if err != nil || len(raw) != edenid.Size {
+			continue
+		}
+		var id edenid.ID
+		copy(id[:], raw)
+		if id.Valid() && !id.IsNil() {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return edenid.Compare(out[i], out[j]) < 0 })
+	return out, nil
+}

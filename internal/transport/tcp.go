@@ -1,0 +1,272 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"eden/internal/msg"
+)
+
+// TCP is a Transport that carries frames over TCP connections, one
+// connection per peer, dialed lazily. It lets a real multi-process
+// Eden system run across machines: each node process listens on one
+// address and is told its peers' addresses (cmd/edennode wires this
+// up).
+//
+// Framing: each frame on a connection is a 4-byte big-endian length
+// followed by that many bytes of msg.EncodeEnvelope output.
+type TCP struct {
+	node uint32
+	ln   net.Listener
+
+	mu       sync.Mutex
+	peers    map[uint32]string   // node -> address
+	conns    map[uint32]net.Conn // established outbound connections
+	accepted map[net.Conn]struct{}
+	closed   bool
+
+	hmu     sync.RWMutex
+	handler Handler
+
+	wg sync.WaitGroup
+}
+
+var _ Transport = (*TCP)(nil)
+
+// maxFrame bounds a single frame (envelope + payload) on the wire; a
+// peer announcing more is treated as corrupt and disconnected.
+const maxFrame = 64 << 20
+
+// NewTCP starts a TCP transport for the given node, listening on addr
+// (e.g. "127.0.0.1:0"). The chosen address is available via Addr.
+func NewTCP(node uint32, addr string) (*TCP, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	t := &TCP{
+		node:     node,
+		ln:       ln,
+		peers:    make(map[uint32]string),
+		conns:    make(map[uint32]net.Conn),
+		accepted: make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's listening address.
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// Node returns the local node number.
+func (t *TCP) Node() uint32 { return t.node }
+
+// SetHandler installs the inbound frame handler.
+func (t *TCP) SetHandler(h Handler) {
+	t.hmu.Lock()
+	t.handler = h
+	t.hmu.Unlock()
+}
+
+// AddPeer registers the address of a peer node.
+func (t *TCP) AddPeer(node uint32, addr string) {
+	t.mu.Lock()
+	t.peers[node] = addr
+	t.mu.Unlock()
+}
+
+// Peers lists the registered peer node numbers.
+func (t *TCP) Peers() []uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]uint32, 0, len(t.peers))
+	for n := range t.peers {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Send transmits one frame, dialing the peer if necessary. Broadcast
+// iterates over all registered peers; per-peer failures are ignored
+// (datagram semantics), matching the Mesh transport.
+func (t *TCP) Send(env msg.Envelope) error {
+	env.From = t.node
+	if env.To == msg.Broadcast {
+		for _, peer := range t.Peers() {
+			unicast := env
+			unicast.To = peer
+			_ = t.sendOne(unicast) // best effort per peer
+		}
+		return nil
+	}
+	if env.To == t.node {
+		t.dispatch(env)
+		return nil
+	}
+	return t.sendOne(env)
+}
+
+func (t *TCP) sendOne(env msg.Envelope) error {
+	conn, err := t.conn(env.To)
+	if err != nil {
+		return err
+	}
+	frame := msg.EncodeEnvelope(nil, env)
+	buf := make([]byte, 4, 4+len(frame))
+	binary.BigEndian.PutUint32(buf, uint32(len(frame)))
+	buf = append(buf, frame...)
+	if _, err := conn.Write(buf); err != nil {
+		// Drop the dead connection; a retry will redial.
+		t.mu.Lock()
+		if t.conns[env.To] == conn {
+			delete(t.conns, env.To)
+		}
+		t.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("transport: send to %d: %w", env.To, err)
+	}
+	return nil
+}
+
+// conn returns an established connection to the peer, dialing if
+// needed. Writes to the returned connection are serialized by a
+// per-connection lock embedded via lockedConn.
+func (t *TCP) conn(node uint32) (net.Conn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := t.conns[node]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.peers[node]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoRoute, node)
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %d@%s: %w", node, addr, err)
+	}
+	c := &lockedConn{Conn: raw}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		raw.Close()
+		return nil, ErrClosed
+	}
+	if prev, ok := t.conns[node]; ok {
+		// Lost a race with another sender; use the winner.
+		t.mu.Unlock()
+		raw.Close()
+		return prev, nil
+	}
+	t.conns[node] = c
+	t.mu.Unlock()
+	return c, nil
+}
+
+// lockedConn serializes concurrent writers so frames never interleave.
+type lockedConn struct {
+	net.Conn
+	mu sync.Mutex
+}
+
+func (c *lockedConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Conn.Write(p)
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.accepted[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrame {
+			return // corrupt peer
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(r, frame); err != nil {
+			return
+		}
+		env, rest, err := msg.DecodeEnvelope(frame)
+		if err != nil || len(rest) != 0 {
+			return // corrupt peer
+		}
+		t.dispatch(env)
+	}
+}
+
+func (t *TCP) dispatch(env msg.Envelope) {
+	t.hmu.RLock()
+	h := t.handler
+	t.hmu.RUnlock()
+	if h != nil {
+		h(env)
+	}
+}
+
+// Close stops the listener and closes all connections.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.conns)+len(t.accepted))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	// Accepted connections must be closed too, or their read loops
+	// would keep Close waiting until the remote side hangs up.
+	for c := range t.accepted {
+		conns = append(conns, c)
+	}
+	t.conns = make(map[uint32]net.Conn)
+	t.mu.Unlock()
+	err := t.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	t.wg.Wait()
+	return err
+}
