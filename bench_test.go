@@ -124,7 +124,7 @@ func benchCheckpoint(b *testing.B, size int) {
 	if _, err := nodes[0].Invoke(cap, "store", make([]byte, size), nil, nil); err != nil {
 		b.Fatal(err)
 	}
-	obj, err := nodes[0].Object(cap.ID())
+	obj, err := nodes[0].Object(cap)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func BenchmarkReincarnate(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		obj, err := nodes[0].Object(cap.ID())
+		obj, err := nodes[0].Object(cap)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -175,7 +175,7 @@ func benchFrozenReplica(b *testing.B, replicated bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	obj, err := nodes[0].Object(cap.ID())
+	obj, err := nodes[0].Object(cap)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func BenchmarkMove64KB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		from := nodes[i%2]
 		to := nodes[(i+1)%2]
-		obj, err := from.Object(cap.ID())
+		obj, err := from.Object(cap)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -299,7 +299,7 @@ func BenchmarkRecoveryFromChecksite(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		obj, err := nodes[0].Object(cap.ID())
+		obj, err := nodes[0].Object(cap)
 		if err != nil {
 			b.Fatal(err)
 		}

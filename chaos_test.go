@@ -105,7 +105,7 @@ func runChaos(t *testing.T, seed int64) {
 		if i%2 == 0 {
 			site := nodes[(int(home.Num())+i)%nNodes]
 			if site != home {
-				obj, err := home.Object(cap.ID())
+				obj, err := home.Object(cap)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -125,7 +125,7 @@ func runChaos(t *testing.T, seed int64) {
 	findHome := func(cap Capability) (*Node, *Object) {
 		for _, n := range nodes {
 			if k := n.Kernel(); k != nil && !n.Down() {
-				if o, err := n.Object(cap.ID()); err == nil {
+				if o, err := n.Object(cap); err == nil {
 					return n, o
 				}
 			}

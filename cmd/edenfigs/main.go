@@ -100,7 +100,7 @@ func buildPrototype() (*eden.System, []*eden.Node, eden.Capability) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	obj, err := nodes[0].Object(cap.ID())
+	obj, err := nodes[0].Object(cap)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func figure3(sys *eden.System) {
 // figure4 dumps a live object's anatomy: the four parts of an Eden
 // object.
 func figure4(n *eden.Node, cap eden.Capability) {
-	obj, err := n.Object(cap.ID())
+	obj, err := n.Object(cap)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -198,7 +198,8 @@ func console(k *kernel.Kernel) {
 					continue
 				}
 			}
-			rep, err := k.Invoke(cap, fields[2], data, nil, nil)
+			rep, err := k.Invoke(cap, fields[2], data, nil,
+				&kernel.InvokeOptions{Timeout: k.Config().DefaultTimeout})
 			if err != nil {
 				fmt.Println(" ", err)
 				continue

@@ -1,0 +1,135 @@
+// Command edenvet runs Eden's custom invariant analyzers over the
+// module: it loads every package under the module root, type-checks
+// it with only the standard library, applies the suite in
+// internal/analysis, honors //edenvet:ignore suppressions, and exits
+// non-zero if any unsuppressed diagnostic remains.
+//
+// Usage:
+//
+//	edenvet            # analyze the module containing the cwd
+//	edenvet ./...      # same
+//	edenvet <dir>      # analyze the module rooted at <dir>
+//	edenvet -q ./...   # suppress the summary, print findings only
+//
+// Diagnostics are printed as file:line: analyzer: message.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"eden/internal/analysis"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "print findings only, no summary")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: edenvet [-q] [./... | module-dir]\n\nanalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	os.Exit(run(flag.Args(), *quiet))
+}
+
+func run(args []string, quiet bool) int {
+	root := "."
+	if len(args) > 0 && args[0] != "./..." && args[0] != "..." {
+		root = strings.TrimSuffix(args[0], "/...")
+	}
+	root, err := findModuleRoot(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edenvet: %v\n", err)
+		return 2
+	}
+
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edenvet: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edenvet: %v\n", err)
+		return 2
+	}
+
+	var active, suppressed []analysis.Diagnostic
+	var unused []analysis.Suppression
+	perAnalyzer := make(map[string]int)
+	for _, pkg := range pkgs {
+		diags := analysis.Run(pkg, analysis.All())
+		sups, bad := analysis.CollectSuppressions(pkg)
+		a, s, u := analysis.ApplySuppressions(diags, sups)
+		active = append(active, a...)
+		active = append(active, bad...)
+		suppressed = append(suppressed, s...)
+		unused = append(unused, u...)
+	}
+
+	for _, d := range active {
+		fmt.Println(render(root, d))
+		perAnalyzer[d.Analyzer]++
+	}
+
+	if !quiet {
+		if len(suppressed) > 0 {
+			fmt.Printf("\n%d finding(s) suppressed by //edenvet:ignore:\n", len(suppressed))
+			for _, d := range suppressed {
+				fmt.Printf("  %s\n", render(root, d))
+			}
+		}
+		if len(unused) > 0 {
+			fmt.Printf("\n%d suppression(s) matched nothing (stale?):\n", len(unused))
+			for _, s := range unused {
+				fmt.Printf("  %s:%d: //edenvet:ignore %s %s\n", relPath(root, s.Pos.Filename), s.Pos.Line, s.Analyzer, s.Reason)
+			}
+		}
+		fmt.Printf("\nedenvet: %d package(s), %d finding(s), %d suppressed\n",
+			len(pkgs), len(active), len(suppressed))
+		for _, a := range analysis.All() {
+			if n := perAnalyzer[a.Name]; n > 0 {
+				fmt.Printf("  %-12s %d\n", a.Name, n)
+			}
+		}
+	}
+
+	if len(active) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func render(root string, d analysis.Diagnostic) string {
+	return fmt.Sprintf("%s:%d: %s: %s", relPath(root, d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+}
+
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}
+
+// findModuleRoot walks upward from dir to the directory containing
+// go.mod.
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod at or above %s", dir)
+		}
+		d = parent
+	}
+}

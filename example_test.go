@@ -63,7 +63,7 @@ func ExampleObject_Checkpoint() {
 
 	cap, _ := node.CreateObject("register")
 	_, _ = node.Invoke(cap, "set", []byte("durable"), nil, nil)
-	obj, _ := node.Object(cap.ID())
+	obj, _ := node.Object(cap)
 	_ = obj.Checkpoint()
 	_, _ = node.Invoke(cap, "set", []byte("volatile"), nil, nil)
 

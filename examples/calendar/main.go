@@ -21,6 +21,10 @@ import (
 	"eden"
 )
 
+// opts gives every invocation an explicit five-second budget, so no
+// call can hang the walkthrough silently.
+func opts() *eden.InvokeOptions { return &eden.InvokeOptions{Timeout: 5 * time.Second} }
+
 const calendarType = "calendar"
 
 // Slots are hours 0..23 of a single day; a booking names the slot and
@@ -206,7 +210,7 @@ func main() {
 	must(book(members[2], cal, 13, "432-bringup"))
 	must(book(members[3], cal, 16, "reading-group"))
 
-	rep, err := members[2].Invoke(cal, "agenda", nil, nil, nil)
+	rep, err := members[2].Invoke(cal, "agenda", nil, nil, opts())
 	must(err)
 	fmt.Println("\nagenda (read from member-b's node):")
 	for _, line := range strings.Split(string(rep.Data), "\n") {
@@ -215,7 +219,7 @@ func main() {
 
 	// Cancel and let the caretaker behavior collect the tombstone.
 	req := binary.BigEndian.AppendUint16(nil, 13)
-	_, err = members[0].Invoke(cal, "cancel", req, nil, nil)
+	_, err = members[0].Invoke(cal, "cancel", req, nil, opts())
 	must(err)
 	deadline := time.Now().Add(2 * time.Second)
 	for expired.Load() == 0 && time.Now().Before(deadline) {
@@ -225,7 +229,7 @@ func main() {
 
 	// The 13:00 slot is bookable again.
 	must(book(members[3], cal, 13, "impromptu-demo"))
-	rep, _ = members[0].Invoke(cal, "agenda", nil, nil, nil)
+	rep, _ = members[0].Invoke(cal, "agenda", nil, nil, opts())
 	fmt.Println("\nfinal agenda:")
 	for _, line := range strings.Split(string(rep.Data), "\n") {
 		fmt.Println("  " + line)

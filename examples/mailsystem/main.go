@@ -9,6 +9,8 @@
 package main
 
 import (
+	"time"
+
 	"encoding/binary"
 	"fmt"
 	"log"
@@ -16,6 +18,10 @@ import (
 
 	"eden"
 )
+
+// opts gives every invocation an explicit five-second budget, so no
+// call can hang the walkthrough silently.
+func opts() *eden.InvokeOptions { return &eden.InvokeOptions{Timeout: 5 * time.Second} }
 
 // Mailbox representation: a data segment per message, numbered; the
 // "meta" segment holds the next message number.
@@ -157,7 +163,7 @@ func sendMail(n *eden.Node, registry eden.Capability, to, from, subject, body st
 	if err != nil {
 		return fmt.Errorf("no such user %q: %w", to, err)
 	}
-	_, err = n.Invoke(box, "deliver", encodeMail(from, subject, body), nil, nil)
+	_, err = n.Invoke(box, "deliver", encodeMail(from, subject, body), nil, opts())
 	return err
 }
 
@@ -166,7 +172,7 @@ func listMail(n *eden.Node, registry eden.Capability, user string) ([]string, er
 	if err != nil {
 		return nil, err
 	}
-	rep, err := n.Invoke(box, "list", nil, nil, nil)
+	rep, err := n.Invoke(box, "list", nil, nil, opts())
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +216,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		obj, _ := node.Object(box.ID())
+		obj, _ := node.Object(box)
 		if err := obj.SetChecksite(eden.RelReplicated, server.Num()); err != nil {
 			log.Fatal(err)
 		}
@@ -253,7 +259,7 @@ func main() {
 	// capabilities keep working through the forwarding pointer.
 	fmt.Println("\n-- levy relocates to almes's building --")
 	levyBox, _ := server.LookupName(registry, "levy")
-	obj, err := levy.Object(levyBox.ID())
+	obj, err := levy.Object(levyBox)
 	must(err)
 	must(<-obj.Move(almes.Num()))
 	must(sendMail(server, registry, "levy", "postmaster", "welcome", "Your mailbox moved with you."))

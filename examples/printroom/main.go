@@ -22,6 +22,10 @@ import (
 	"eden/internal/gateway"
 )
 
+// opts gives every invocation an explicit five-second budget, so no
+// call can hang the walkthrough silently.
+func opts() *eden.InvokeOptions { return &eden.InvokeOptions{Timeout: 5 * time.Second} }
+
 const spoolerType = "print.spooler"
 
 // spoolerManager defines the spooler: "submit" enqueues a job into the
@@ -62,7 +66,7 @@ func spoolerManager() *eden.TypeManager {
 					}
 					// Print via the gateway (location-transparent),
 					// then dequeue only on success.
-					if _, err := o.Invoke(printer, "print", job, nil, nil); err != nil {
+					if _, err := o.Invoke(printer, "print", job, nil, opts()); err != nil {
 						continue // device busy/offline: retry next tick
 					}
 					_ = o.Update(func(r *eden.Representation) error {
@@ -192,7 +196,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := machineRoom.Invoke(sp, "attach-printer", nil, eden.CapabilityList{printer}, nil); err != nil {
+		if _, err := machineRoom.Invoke(sp, "attach-printer", nil, eden.CapabilityList{printer}, opts()); err != nil {
 			log.Fatal(err)
 		}
 		dest, err := machineRoom.PlaceAndMove(pol, sp)
@@ -222,7 +226,7 @@ func main() {
 			}
 			for j := 0; j < 3; j++ {
 				line := fmt.Sprintf("job from %s #%d", office.Name(), j+1)
-				if _, err := office.Invoke(sp, "submit", []byte(line), nil, nil); err != nil {
+				if _, err := office.Invoke(sp, "submit", []byte(line), nil, opts()); err != nil {
 					log.Fatal(err)
 				}
 			}
@@ -250,6 +254,6 @@ func main() {
 	}
 	printMu.Unlock()
 
-	rep, _ := machineRoom.Invoke(printer, "gateway-stats", nil, nil, nil)
+	rep, _ := machineRoom.Invoke(printer, "gateway-stats", nil, nil, opts())
 	fmt.Printf("gateway served %d foreign requests\n== done ==\n", gateway.Requests(rep.Data))
 }

@@ -6,12 +6,18 @@
 package main
 
 import (
+	"time"
+
 	"encoding/binary"
 	"fmt"
 	"log"
 
 	"eden"
 )
+
+// opts gives every invocation an explicit five-second budget, so no
+// call can hang the walkthrough silently.
+func opts() *eden.InvokeOptions { return &eden.InvokeOptions{Timeout: 5 * time.Second} }
 
 // u64 round-trips counters through invocation payloads.
 func u64(v uint64) []byte {
@@ -104,7 +110,7 @@ func main() {
 	// Location-independent invocation: beta and gamma don't know (or
 	// care) where the counter lives.
 	for _, n := range []*eden.Node{alpha, beta, gamma} {
-		rep, err := n.Invoke(cap, "inc", nil, nil, nil)
+		rep, err := n.Invoke(cap, "inc", nil, nil, opts())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -113,35 +119,35 @@ func main() {
 
 	// Capability restriction: a read-only capability cannot reset.
 	readOnly := cap.Restrict(eden.RightInvoke)
-	if _, err := beta.Invoke(readOnly, "reset", nil, nil, nil); err != nil {
+	if _, err := beta.Invoke(readOnly, "reset", nil, nil, opts()); err != nil {
 		fmt.Printf("reset with read-only capability correctly denied: %v\n", err)
 	}
 
 	// Checkpoint, crash, reincarnate: the object survives with its
 	// checkpointed state; post-checkpoint work is lost by design.
-	obj, _ := alpha.Object(cap.ID())
+	obj, _ := alpha.Object(cap)
 	if err := obj.Checkpoint(); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := alpha.Invoke(cap, "inc", nil, nil, nil); err != nil { // will be lost
+	if _, err := alpha.Invoke(cap, "inc", nil, nil, opts()); err != nil { // will be lost
 		log.Fatal(err)
 	}
 	obj.Crash()
-	rep, err := gamma.Invoke(cap, "get", nil, nil, nil) // reincarnates
+	rep, err := gamma.Invoke(cap, "get", nil, nil, opts()) // reincarnates
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("after crash+reincarnation the counter reads %d (checkpointed value)\n", fromU64(rep.Data))
 
 	// Freeze and replicate: reads are then served from local caches.
-	obj, _ = alpha.Object(cap.ID())
+	obj, _ = alpha.Object(cap)
 	if err := obj.Freeze(); err != nil {
 		log.Fatal(err)
 	}
 	if err := obj.Replicate(beta.Num(), gamma.Num()); err != nil {
 		log.Fatal(err)
 	}
-	rep, err = gamma.Invoke(cap, "get", nil, nil, &eden.InvokeOptions{AllowReplica: true})
+	rep, err = gamma.Invoke(cap, "get", nil, nil, &eden.InvokeOptions{Timeout: 5 * time.Second, AllowReplica: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -150,14 +156,14 @@ func main() {
 	// Mobility: a second (mutable) counter moves from alpha to beta;
 	// invocations keep working through the forwarding pointer.
 	cap2, _ := alpha.CreateObject("counter")
-	if _, err := gamma.Invoke(cap2, "inc", nil, nil, nil); err != nil {
+	if _, err := gamma.Invoke(cap2, "inc", nil, nil, opts()); err != nil {
 		log.Fatal(err)
 	}
-	obj2, _ := alpha.Object(cap2.ID())
+	obj2, _ := alpha.Object(cap2)
 	if err := <-obj2.Move(beta.Num()); err != nil {
 		log.Fatal(err)
 	}
-	rep, err = gamma.Invoke(cap2, "inc", nil, nil, nil)
+	rep, err = gamma.Invoke(cap2, "inc", nil, nil, opts())
 	if err != nil {
 		log.Fatal(err)
 	}

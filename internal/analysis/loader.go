@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("eden/internal/kernel").
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages of one module using only
+// the standard library: module-internal imports resolve from source
+// under the module root, standard-library imports resolve through the
+// toolchain's source importer (works offline — GOROOT ships its
+// sources).
+type Loader struct {
+	Fset       *token.FileSet
+	moduleDir  string
+	modulePath string
+	std        types.Importer
+	pkgs       map[string]*Package // by import path
+	loading    map[string]bool     // cycle guard
+}
+
+// NewLoader returns a loader rooted at the module directory (the one
+// containing go.mod).
+func NewLoader(moduleDir string) (*Loader, error) {
+	modPath, err := modulePathOf(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		moduleDir:  moduleDir,
+		modulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// modulePathOf reads the module path from go.mod.
+func modulePathOf(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s/go.mod", dir)
+}
+
+// LoadAll discovers every package directory under the module root
+// (skipping testdata, hidden directories and test files) and
+// type-checks them all, returning packages sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.moduleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.moduleDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.moduleDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.modulePath
+		if rel != "." {
+			path = l.modulePath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if name := e.Name(); !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir parses and type-checks one directory outside the module's
+// import space, giving it the synthetic import path asPath. The
+// fixture harness uses this to check testdata packages that may import
+// real module packages.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	return l.loadDir(dir, asPath)
+}
+
+// Import implements types.Importer for the type-checker: module
+// packages load recursively from source, everything else delegates to
+// the standard-library source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load type-checks the module package with the given import path.
+func (l *Loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
+	dir := filepath.Join(l.moduleDir, filepath.FromSlash(rel))
+	pkg, err := l.loadDir(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", path, err)
+		}
+		if !buildTagged(f) {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: %s: no buildable Go files in %s", path, dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l, FakeImportC: true}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// buildTagged reports whether the file carries a //go:build constraint.
+// Constrained variants (race on/off pairs and the like) are skipped:
+// analyzing both halves of a pair in one package would double-declare
+// symbols, and the unconstrained view is what edenvet audits.
+func buildTagged(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.End() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//go:build") || strings.HasPrefix(c.Text, "// +build") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SentinelWrap enforces the kernel's error taxonomy: outcomes that
+// cross the kernel package boundary travel as the sentinel errors in
+// internal/kernel/errors.go, and callers match them with errors.Is.
+// An fmt.Errorf or errors.New whose text merely *duplicates* a
+// sentinel's message mints an unmatchable counterfeit: it reads the
+// same but fails every errors.Is test. Such constructors must wrap the
+// sentinel with %w (or errors.Join) instead.
+//
+// The analyzer knows the kernel taxonomy's distinctive phrases and
+// additionally learns the sentinels declared in the package being
+// analyzed (any package-level `var Err... = errors.New(...)`).
+var SentinelWrap = &Analyzer{
+	Name: "sentinelwrap",
+	Doc:  "errors crossing the kernel boundary must wrap the sentinel taxonomy via %w, not duplicate its text",
+	Run:  runSentinelWrap,
+}
+
+// kernelSentinelPhrases are the messages of the internal/kernel
+// sentinels, minus the "kernel: " prefix. A constructed error
+// containing one of these is duplicating that sentinel.
+var kernelSentinelPhrases = []string{
+	"no such object",
+	"no such type",
+	"no such operation",
+	"insufficient rights",
+	"invocation timed out",
+	"object crashed",
+	"object is frozen",
+	"object is not frozen",
+	"object is moving",
+	"node is down",
+	"object has no checkpoint",
+	"object active state destroyed",
+}
+
+func runSentinelWrap(pass *Pass) {
+	phrases := append([]string(nil), kernelSentinelPhrases...)
+	sentinelCalls := make(map[*ast.CallExpr]bool)
+
+	// Learn this package's own sentinels: package-level
+	// var Err... = errors.New("...").
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, val := range vs.Values {
+					call, ok := val.(*ast.CallExpr)
+					if !ok || !isPkgFunc(pass.Info, call, "errors", "New") {
+						continue
+					}
+					sentinelCalls[call] = true
+					if i < len(vs.Names) && strings.HasPrefix(vs.Names[i].Name, "Err") {
+						if text, ok := stringArg(pass.Info, call, 0); ok {
+							if _, msg, found := strings.Cut(text, ": "); found {
+								phrases = append(phrases, msg)
+							} else {
+								phrases = append(phrases, text)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isPkgFunc(pass.Info, call, "errors", "New"):
+				if sentinelCalls[call] {
+					return true // the declaration of a sentinel itself
+				}
+				if text, ok := stringArg(pass.Info, call, 0); ok {
+					if phrase := matchPhrase(text, phrases); phrase != "" {
+						pass.Reportf(call.Pos(),
+							"errors.New duplicates sentinel text %q; wrap the sentinel with fmt.Errorf(\"...: %%w\", ...) instead",
+							phrase)
+					}
+				}
+			case isPkgFunc(pass.Info, call, "fmt", "Errorf"):
+				text, ok := stringArg(pass.Info, call, 0)
+				if !ok {
+					return true
+				}
+				if strings.Contains(text, "%w") {
+					return true
+				}
+				if phrase := matchPhrase(text, phrases); phrase != "" {
+					pass.Reportf(call.Pos(),
+						"fmt.Errorf duplicates sentinel text %q without wrapping; use %%w with the sentinel instead",
+						phrase)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// matchPhrase returns the first sentinel phrase contained in text.
+func matchPhrase(text string, phrases []string) string {
+	for _, p := range phrases {
+		if p != "" && strings.Contains(text, p) {
+			return p
+		}
+	}
+	return ""
+}
+
+// stringArg returns the constant string value of the call's i'th
+// argument, if it is one.
+func stringArg(info *types.Info, call *ast.CallExpr, i int) (string, bool) {
+	if i >= len(call.Args) {
+		return "", false
+	}
+	tv, ok := info.Types[call.Args[i]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

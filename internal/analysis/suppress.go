@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppressions are //edenvet:ignore comments: an explicit, reviewable
+// record that a diagnostic was seen and judged a non-issue. The form is
+//
+//	//edenvet:ignore <analyzer> <reason>
+//
+// and the reason is mandatory — a suppression without one is itself
+// reported. A suppression applies to diagnostics from the named
+// analyzer ("all" matches every analyzer) that lie
+//
+//   - on the comment's own line or the line immediately after it, or
+//   - anywhere inside the declaration whose doc comment contains it.
+//
+// The declaration scope is what makes one comment cover a whole
+// exported signature or struct without annotating every field.
+type Suppression struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Position
+	// fromLine..toLine is the line span the suppression covers, in
+	// Pos.Filename.
+	fromLine, toLine int
+}
+
+// Covers reports whether the suppression applies to the diagnostic.
+func (s Suppression) Covers(d Diagnostic) bool {
+	if s.Analyzer != "all" && s.Analyzer != d.Analyzer {
+		return false
+	}
+	return d.Pos.Filename == s.Pos.Filename && d.Pos.Line >= s.fromLine && d.Pos.Line <= s.toLine
+}
+
+const ignoreDirective = "//edenvet:ignore"
+
+// CollectSuppressions gathers every suppression in the package's files.
+// Malformed directives (no analyzer, or no reason) are returned as
+// diagnostics so they fail the build rather than silently ignoring
+// nothing.
+func CollectSuppressions(pkg *Package) ([]Suppression, []Diagnostic) {
+	var sups []Suppression
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		// Map comment position -> covered declaration span for doc
+		// comments.
+		declSpan := make(map[token.Pos][2]int)
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			from := pkg.Fset.Position(decl.Pos()).Line
+			to := pkg.Fset.Position(decl.End()).Line
+			if doc != nil {
+				for _, c := range doc.List {
+					declSpan[c.Pos()] = [2]int{from, to}
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, ignoreDirective)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "suppress",
+						Message:  "malformed suppression: want //edenvet:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				s := Suppression{
+					Analyzer: fields[0],
+					Reason:   strings.Join(fields[1:], " "),
+					Pos:      pos,
+					fromLine: pos.Line,
+					toLine:   pos.Line + 1,
+				}
+				if span, isDoc := declSpan[c.Pos()]; isDoc {
+					s.fromLine, s.toLine = span[0], span[1]
+					if pos.Line < s.fromLine {
+						s.fromLine = pos.Line
+					}
+				}
+				sups = append(sups, s)
+			}
+		}
+	}
+	return sups, bad
+}
+
+// ApplySuppressions splits diagnostics into active and suppressed, and
+// reports which suppressions never matched anything (stale suppressions
+// accumulate as lies, so they are surfaced too).
+func ApplySuppressions(diags []Diagnostic, sups []Suppression) (active, suppressed []Diagnostic, unused []Suppression) {
+	used := make([]bool, len(sups))
+	for _, d := range diags {
+		matched := false
+		for i, s := range sups {
+			if s.Covers(d) {
+				used[i] = true
+				matched = true
+			}
+		}
+		if matched {
+			suppressed = append(suppressed, d)
+		} else {
+			active = append(active, d)
+		}
+	}
+	for i, s := range sups {
+		if !used[i] {
+			unused = append(unused, s)
+		}
+	}
+	return active, suppressed, unused
+}

@@ -1,0 +1,23 @@
+// Package capleak exercises the capleak analyzer: raw edenid names in
+// exported API fire; unexported or capability-shaped API does not.
+package capleak
+
+import "eden/internal/edenid"
+
+// Locate returns where the object named id lives.
+func Locate(id edenid.ID) uint32 { return 0 } // want "leaks raw object name"
+
+// Record pairs an object with its placement.
+type Record struct {
+	Object edenid.ID // want "leaks raw object name"
+	Node   uint32
+}
+
+// locate is unexported, so it is not reachable API and does not fire.
+func locate(id edenid.ID) uint32 { _ = id; return 0 }
+
+// Placement exposes only opaque data and does not fire.
+type Placement struct {
+	Key  string
+	Node uint32
+}

@@ -1,0 +1,34 @@
+// Package lockhold exercises the lockhold analyzer: blocking while a
+// same-function mutex is held fires; blocking after release does not.
+package lockhold
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *box) sleepUnderLock() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while mutex"
+	b.mu.Unlock()
+}
+
+func (b *box) receiveUnderDeferredUnlock(ch chan int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-ch // want "channel receive while mutex"
+}
+
+// sleepAfterUnlock blocks only once the lock is released and does not
+// fire.
+func (b *box) sleepAfterUnlock() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,29 @@
+// Package sentinelwrap exercises the sentinelwrap analyzer:
+// constructing an error whose text duplicates a sentinel fires; the
+// sentinel declaration itself and %w wrapping do not.
+package sentinelwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGone is this package's own sentinel; its declaration is learned,
+// not flagged.
+var ErrGone = errors.New("fixture: all state gone")
+
+func lookupKernelDup(ok bool) error {
+	if !ok {
+		return fmt.Errorf("lookup: no such object") // want "duplicates sentinel text"
+	}
+	return nil
+}
+
+func lookupLocalDup() error {
+	return errors.New("retry: all state gone") // want "duplicates sentinel text"
+}
+
+// lookupWrapped wraps the sentinel properly and does not fire.
+func lookupWrapped() error {
+	return fmt.Errorf("lookup: %w", ErrGone)
+}

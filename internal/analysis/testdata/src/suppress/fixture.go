@@ -1,0 +1,19 @@
+// Package suppress exercises the //edenvet:ignore machinery: a
+// reasoned suppression absorbs its finding, a suppression that matches
+// nothing is stale, and a directive without a reason is malformed.
+package suppress
+
+import "eden/internal/edenid"
+
+// Leak deliberately violates capleak; the directive below absorbs it.
+//
+//edenvet:ignore capleak fixture demonstrates a reviewed exception
+func Leak(id edenid.ID) bool { _ = id; return false }
+
+// fine has nothing to suppress, so its directive is stale.
+//
+//edenvet:ignore timeoutprop this matches nothing and must be reported stale
+func fine() {}
+
+//edenvet:ignore
+func malformed() {}

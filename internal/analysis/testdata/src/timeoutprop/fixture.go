@@ -1,0 +1,29 @@
+// Package timeoutprop exercises the timeoutprop analyzer: an Invoke
+// whose options carry no visible timeout fires; a bounded literal or a
+// propagated options value does not.
+package timeoutprop
+
+import "time"
+
+// InvokeOptions tunes one invocation.
+type InvokeOptions struct {
+	Timeout      time.Duration
+	AllowReplica bool
+}
+
+// Kernel is a stand-in for the invocation API.
+type Kernel struct{}
+
+// Invoke performs one invocation.
+func (k *Kernel) Invoke(op string, data []byte, opts *InvokeOptions) error {
+	_, _, _ = op, data, opts
+	return nil
+}
+
+func calls(k *Kernel, caller *InvokeOptions) {
+	_ = k.Invoke("a", nil, nil)                                  // want "passes nil options"
+	_ = k.Invoke("b", nil, &InvokeOptions{AllowReplica: true})   // want "omit Timeout"
+	_ = k.Invoke("c", nil, &InvokeOptions{Timeout: 0})           // want "hardcodes Timeout: 0"
+	_ = k.Invoke("d", nil, &InvokeOptions{Timeout: time.Second}) // bounded: ok
+	_ = k.Invoke("e", nil, caller)                               // propagated: ok
+}

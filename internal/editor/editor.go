@@ -78,7 +78,10 @@ func renderAnatomy(o *kernel.Object) string {
 // extend the base type) render as an opaque line rather than an error:
 // the editor must be able to show *everything*.
 func Render(k *kernel.Kernel, target capability.Capability) string {
-	rep, err := k.Invoke(target, DisplayOp, nil, nil, &kernel.InvokeOptions{AllowReplica: true})
+	rep, err := k.Invoke(target, DisplayOp, nil, nil, &kernel.InvokeOptions{
+		Timeout:      k.Config().DefaultTimeout,
+		AllowReplica: true,
+	})
 	if err != nil {
 		return fmt.Sprintf("object %v (no visual representation: %v)", target.ID(), err)
 	}
@@ -154,7 +157,8 @@ func format(b *strings.Builder, n *Node, indent int) {
 // operation name plus its textual argument. The object's reply (its
 // new visual representation, or operation output) is returned.
 func Edit(k *kernel.Kernel, target capability.Capability, operation string, argument string) (string, error) {
-	rep, err := k.Invoke(target, operation, []byte(argument), nil, nil)
+	rep, err := k.Invoke(target, operation, []byte(argument), nil,
+		&kernel.InvokeOptions{Timeout: k.Config().DefaultTimeout})
 	if err != nil {
 		return "", err
 	}

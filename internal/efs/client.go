@@ -45,6 +45,13 @@ type Client struct {
 	mode CCMode
 }
 
+// opts propagates the node's configured invocation budget to the
+// client's own invocations, so every EFS call carries a visible,
+// bounded timeout.
+func (c *Client) opts() *kernel.InvokeOptions {
+	return &kernel.InvokeOptions{Timeout: c.k.Config().DefaultTimeout}
+}
+
 // NewClient returns an EFS client bound to a kernel, using the given
 // concurrency-control mode for its transactions.
 func NewClient(k *kernel.Kernel, mode CCMode) *Client {
@@ -82,7 +89,7 @@ func (c *Client) CreateReplicated(nodes ...uint32) (primary capability.Capabilit
 				return capability.Capability{}, nil, fmt.Errorf("efs: placing mirror on node %d: %w", n, err)
 			}
 		}
-		if _, err := c.k.Invoke(primary, "add-mirror", nil, capability.List{m}, nil); err != nil {
+		if _, err := c.k.Invoke(primary, "add-mirror", nil, capability.List{m}, c.opts()); err != nil {
 			return capability.Capability{}, nil, err
 		}
 		mirrors = append(mirrors, m)
@@ -100,7 +107,7 @@ func (c *Client) Read(file capability.Capability) (data []byte, version uint64, 
 func (c *Client) ReadVersion(file capability.Capability, version uint64) ([]byte, uint64, error) {
 	var req [8]byte
 	binary.BigEndian.PutUint64(req[:], version)
-	rep, err := c.k.Invoke(file, "read", req[:], nil, nil)
+	rep, err := c.k.Invoke(file, "read", req[:], nil, c.opts())
 	if err != nil {
 		return nil, 0, err
 	}
@@ -132,7 +139,7 @@ func (c *Client) ReadAny(candidates ...capability.Capability) ([]byte, uint64, e
 // History returns the latest version number and the count of retained
 // versions.
 func (c *Client) History(file capability.Capability) (latest, count uint64, err error) {
-	rep, err := c.k.Invoke(file, "history", nil, nil, nil)
+	rep, err := c.k.Invoke(file, "history", nil, nil, c.opts())
 	if err != nil {
 		return 0, 0, err
 	}
@@ -189,7 +196,7 @@ func (t *Tx) Write(file capability.Capability, base uint64, data []byte) error {
 		return ErrBadTransaction
 	}
 	if t.c.mode == Locking {
-		if _, err := t.c.k.Invoke(file, "lock", []byte(t.tid), nil, nil); err != nil {
+		if _, err := t.c.k.Invoke(file, "lock", []byte(t.tid), nil, t.c.opts()); err != nil {
 			if isConflict(err) {
 				return fmt.Errorf("%w: %v", ErrConflict, err)
 			}
@@ -240,7 +247,7 @@ func (t *Tx) Commit() error {
 		req = append(req, t.tid...)
 		req = binary.BigEndian.AppendUint64(req, w.base)
 		req = append(req, w.data...)
-		if _, err := t.c.k.Invoke(w.file, "prepare", req, nil, nil); err != nil {
+		if _, err := t.c.k.Invoke(w.file, "prepare", req, nil, t.c.opts()); err != nil {
 			// A no vote (or a failure) aborts the transaction.
 			t.abortAll(prepared)
 			t.releaseLocks()
@@ -258,7 +265,7 @@ func (t *Tx) Commit() error {
 	// not repaired.
 	var firstErr error
 	for _, f := range prepared {
-		if _, err := t.c.k.Invoke(f, "commit", []byte(t.tid), nil, nil); err != nil && firstErr == nil {
+		if _, err := t.c.k.Invoke(f, "commit", []byte(t.tid), nil, t.c.opts()); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("efs: commit phase two: %w", err)
 		}
 	}
@@ -282,7 +289,7 @@ func (t *Tx) Abort() {
 
 func (t *Tx) abortAll(files []capability.Capability) {
 	for _, f := range files {
-		_, _ = t.c.k.Invoke(f, "abort", []byte(t.tid), nil, nil)
+		_, _ = t.c.k.Invoke(f, "abort", []byte(t.tid), nil, t.c.opts())
 	}
 }
 
@@ -292,7 +299,7 @@ func (t *Tx) abortAll(files []capability.Capability) {
 // whose prepare never ran).
 func (t *Tx) releaseLocks() {
 	for _, f := range t.locked {
-		_, _ = t.c.k.Invoke(f, "unlock", []byte(t.tid), nil, nil)
+		_, _ = t.c.k.Invoke(f, "unlock", []byte(t.tid), nil, t.c.opts())
 	}
 	t.locked = nil
 }

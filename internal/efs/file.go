@@ -304,8 +304,9 @@ func pushToMirrors(c *kernel.Call, ver uint64, content []byte) {
 		}
 	})
 	payload := append(u64b(ver), content...)
+	opts := &kernel.InvokeOptions{Timeout: c.Kernel().Config().DefaultTimeout}
 	for _, m := range mirrors {
-		_, _ = c.Kernel().Invoke(m, "mirror-put", payload, nil, nil)
+		_, _ = c.Kernel().Invoke(m, "mirror-put", payload, nil, opts)
 	}
 }
 

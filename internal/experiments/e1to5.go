@@ -24,7 +24,7 @@ func RunE1() (*Table, error) {
 	}
 	// Warm the remote hint cache so E1 measures invocation, not
 	// location (location is E7's subject).
-	if _, err := nodes[1].Invoke(cap, "echo", nil, nil, nil); err != nil {
+	if _, err := nodes[1].Invoke(cap, "echo", nil, nil, expOpts()); err != nil {
 		return nil, err
 	}
 
@@ -39,14 +39,14 @@ func RunE1() (*Table, error) {
 		payload := make([]byte, size)
 		const iters = 300
 		local, _, _, err := measure(iters, func() error {
-			_, err := nodes[0].Invoke(cap, "echo", payload, nil, nil)
+			_, err := nodes[0].Invoke(cap, "echo", payload, nil, expOpts())
 			return err
 		})
 		if err != nil {
 			return nil, err
 		}
 		remote, _, _, err := measure(iters, func() error {
-			_, err := nodes[1].Invoke(cap, "echo", payload, nil, nil)
+			_, err := nodes[1].Invoke(cap, "echo", payload, nil, expOpts())
 			return err
 		})
 		if err != nil {
@@ -162,10 +162,10 @@ func RunE3() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := nodes[0].Invoke(cap, "store", make([]byte, size), nil, nil); err != nil {
+		if _, err := nodes[0].Invoke(cap, "store", make([]byte, size), nil, expOpts()); err != nil {
 			return nil, err
 		}
-		obj, err := nodes[0].Object(cap.ID())
+		obj, err := nodes[0].Object(cap)
 		if err != nil {
 			return nil, err
 		}
@@ -198,10 +198,10 @@ func RunE3() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := nodes[0].Invoke(cap2, "store", make([]byte, size), nil, nil); err != nil {
+		if _, err := nodes[0].Invoke(cap2, "store", make([]byte, size), nil, expOpts()); err != nil {
 			return nil, err
 		}
-		obj2, err := nodes[0].Object(cap2.ID())
+		obj2, err := nodes[0].Object(cap2)
 		if err != nil {
 			return nil, err
 		}
@@ -213,7 +213,7 @@ func RunE3() (*Table, error) {
 			return nil, err
 		}
 		fullBytes := sys.NetworkStats().Bytes
-		if _, err := nodes[0].Invoke(cap2, "store-small", u64(1), nil, nil); err != nil {
+		if _, err := nodes[0].Invoke(cap2, "store-small", u64(1), nil, expOpts()); err != nil {
 			return nil, err
 		}
 		sys.ResetNetworkStats()
@@ -227,14 +227,14 @@ func RunE3() (*Table, error) {
 			return nil, err
 		}
 		reinc, _, _, err := measure(iters, func() error {
-			o, err := nodes[0].Object(cap.ID())
+			o, err := nodes[0].Object(cap)
 			if err != nil {
 				return err
 			}
 			if err := o.Passivate(); err != nil {
 				return err
 			}
-			_, err = nodes[0].Invoke(cap, "echo", nil, nil, nil)
+			_, err = nodes[0].Invoke(cap, "echo", nil, nil, expOpts())
 			return err
 		})
 		if err != nil {
@@ -271,11 +271,11 @@ func RunE4() (*Table, error) {
 			sys.Close()
 			return nil, err
 		}
-		if _, err := home.Invoke(cap, "store", make([]byte, 4096), nil, nil); err != nil {
+		if _, err := home.Invoke(cap, "store", make([]byte, 4096), nil, expOpts()); err != nil {
 			sys.Close()
 			return nil, err
 		}
-		obj, err := home.Object(cap.ID())
+		obj, err := home.Object(cap)
 		if err != nil {
 			sys.Close()
 			return nil, err
@@ -296,7 +296,7 @@ func RunE4() (*Table, error) {
 		}
 		// Warm location hints.
 		for _, n := range nodes[1:] {
-			if _, err := n.Invoke(cap, "echo", nil, nil, &eden.InvokeOptions{AllowReplica: true}); err != nil {
+			if _, err := n.Invoke(cap, "echo", nil, nil, &eden.InvokeOptions{Timeout: expTimeout, AllowReplica: true}); err != nil {
 				sys.Close()
 				return nil, err
 			}
@@ -308,7 +308,7 @@ func RunE4() (*Table, error) {
 		for _, n := range nodes[1:] {
 			n := n
 			med, _, _, err := measure(readsPerNode, func() error {
-				_, err := n.Invoke(cap, "echo", nil, nil, &eden.InvokeOptions{AllowReplica: true})
+				_, err := n.Invoke(cap, "echo", nil, nil, &eden.InvokeOptions{Timeout: expTimeout, AllowReplica: true})
 				return err
 			})
 			if err != nil {
@@ -357,12 +357,12 @@ func RunE5() (*Table, error) {
 			sys.Close()
 			return nil, err
 		}
-		if _, err := src.Invoke(cap, "store", make([]byte, size), nil, nil); err != nil {
+		if _, err := src.Invoke(cap, "store", make([]byte, size), nil, expOpts()); err != nil {
 			sys.Close()
 			return nil, err
 		}
 		pre, _, _, err := measure(100, func() error {
-			_, err := client.Invoke(cap, "echo", nil, nil, nil)
+			_, err := client.Invoke(cap, "echo", nil, nil, expOpts())
 			return err
 		})
 		if err != nil {
@@ -370,7 +370,7 @@ func RunE5() (*Table, error) {
 			return nil, err
 		}
 
-		obj, err := src.Object(cap.ID())
+		obj, err := src.Object(cap)
 		if err != nil {
 			sys.Close()
 			return nil, err
@@ -385,14 +385,14 @@ func RunE5() (*Table, error) {
 		// First invocation chases the forwarding pointer through the
 		// old home.
 		firstStart := time.Now()
-		if _, err := client.Invoke(cap, "echo", nil, nil, nil); err != nil {
+		if _, err := client.Invoke(cap, "echo", nil, nil, expOpts()); err != nil {
 			sys.Close()
 			return nil, err
 		}
 		first := time.Since(firstStart)
 
 		steady, _, _, err := measure(100, func() error {
-			_, err := client.Invoke(cap, "echo", nil, nil, nil)
+			_, err := client.Invoke(cap, "echo", nil, nil, expOpts())
 			return err
 		})
 		sys.Close()

@@ -123,7 +123,7 @@ func RunE7() (*Table, error) {
 			return nil, err
 		}
 		start := time.Now()
-		if _, err := nodes[3].Invoke(cap, "echo", nil, nil, nil); err != nil {
+		if _, err := nodes[3].Invoke(cap, "echo", nil, nil, expOpts()); err != nil {
 			return nil, err
 		}
 		coldTotal += time.Since(start)
@@ -139,12 +139,12 @@ func RunE7() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := nodes[3].Invoke(cap, "echo", nil, nil, nil); err != nil {
+	if _, err := nodes[3].Invoke(cap, "echo", nil, nil, expOpts()); err != nil {
 		return nil, err
 	}
 	b0 := nodes[3].Kernel().Locator().Stats()
 	warm, _, _, err := measure(300, func() error {
-		_, err := nodes[3].Invoke(cap, "echo", nil, nil, nil)
+		_, err := nodes[3].Invoke(cap, "echo", nil, nil, expOpts())
 		return err
 	})
 	if err != nil {
@@ -165,7 +165,7 @@ func RunE7() (*Table, error) {
 	homes := []*eden.Node{nodes[0], nodes[1], nodes[2]}
 	c0 := nodes[3].Kernel().Locator().Stats()
 	for i := 0; i < churnN; i++ {
-		obj, err := homes[i%3].Object(cap.ID())
+		obj, err := homes[i%3].Object(cap)
 		if err != nil {
 			// The object moved; find it at its current home.
 			for _, h := range homes {
@@ -183,7 +183,7 @@ func RunE7() (*Table, error) {
 			return nil, err
 		}
 		start := time.Now()
-		if _, err := nodes[3].Invoke(cap, "echo", nil, nil, nil); err != nil {
+		if _, err := nodes[3].Invoke(cap, "echo", nil, nil, expOpts()); err != nil {
 			return nil, err
 		}
 		churnTotal += time.Since(start)
@@ -239,11 +239,11 @@ func RunE8() (*Table, error) {
 			sys.Close()
 			return nil, err
 		}
-		if _, err := home.Invoke(cap, "store", []byte("precious state"), nil, nil); err != nil {
+		if _, err := home.Invoke(cap, "store", []byte("precious state"), nil, expOpts()); err != nil {
 			sys.Close()
 			return nil, err
 		}
-		obj, err := home.Object(cap.ID())
+		obj, err := home.Object(cap)
 		if err != nil {
 			sys.Close()
 			return nil, err
@@ -261,7 +261,7 @@ func RunE8() (*Table, error) {
 		intact := "-"
 		if survived {
 			// Verify the recovered representation.
-			o, err := backup.Object(cap.ID())
+			o, err := backup.Object(cap)
 			if err == nil {
 				a := o.Describe()
 				intact = "yes"
@@ -449,7 +449,7 @@ func RunE10() (*Table, error) {
 			return nil, err
 		}
 		med, _, _, err := measure(2000, func() error {
-			_, err := nodes[0].Invoke(cap, "op", nil, nil, nil)
+			_, err := nodes[0].Invoke(cap, "op", nil, nil, expOpts())
 			return err
 		})
 		if err != nil {
@@ -477,7 +477,7 @@ func RunE11() (*Table, error) {
 	}
 	for _, frac := range []float64{2.0, 1.0, 0.5, 0.25} {
 		sys, err := eden.NewSystem(eden.SystemConfig{
-			DefaultTimeout: 10 * time.Second,
+			DefaultTimeout: expTimeout,
 			LocateTimeout:  2 * time.Second,
 		})
 		if err != nil {
@@ -503,7 +503,7 @@ func RunE11() (*Table, error) {
 				sys.Close()
 				return nil, err
 			}
-			if _, err := node.Invoke(caps[i], "store", make([]byte, objectSize), nil, nil); err != nil {
+			if _, err := node.Invoke(caps[i], "store", make([]byte, objectSize), nil, expOpts()); err != nil {
 				sys.Close()
 				return nil, err
 			}
@@ -513,7 +513,7 @@ func RunE11() (*Table, error) {
 		for r := 0; r < rounds; r++ {
 			for _, cap := range caps {
 				start := time.Now()
-				if _, err := node.Invoke(cap, "echo", nil, nil, nil); err != nil {
+				if _, err := node.Invoke(cap, "echo", nil, nil, expOpts()); err != nil {
 					sys.Close()
 					return nil, err
 				}

@@ -121,11 +121,20 @@ func u64(v uint64) []byte {
 	return b[:]
 }
 
+// expTimeout mirrors the DefaultTimeout every experiment system is
+// configured with; invocations pass it explicitly so the wait budget
+// is visible at each call site.
+const expTimeout = 10 * time.Second
+
+// expOpts returns invocation options carrying the experiments'
+// standard budget.
+func expOpts() *eden.InvokeOptions { return &eden.InvokeOptions{Timeout: expTimeout} }
+
 // newSystem builds an n-node system with injected network latency and
 // the echo benchmark type registered.
 func newSystem(n int) (*eden.System, []*eden.Node, error) {
 	sys, err := eden.NewSystem(eden.SystemConfig{
-		DefaultTimeout: 10 * time.Second,
+		DefaultTimeout: expTimeout,
 		LocateTimeout:  2 * time.Second,
 	})
 	if err != nil {

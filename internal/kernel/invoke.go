@@ -259,6 +259,15 @@ func (k *Kernel) tryLocal(req msg.InvokeReq, allowReplica, remoteOrigin bool, ti
 // dispatch hands one call to an object's coordinator and awaits the
 // reply, honoring the node's virtual processor budget.
 func (k *Kernel) dispatch(obj *Object, req msg.InvokeReq, timeout time.Duration) (msg.InvokeRep, error) {
+	// The serving side verifies rights before admitting the call: a
+	// request that arrived over the wire carries whatever capability
+	// the sender claims, and the target's node — not the sender — is
+	// the authority. The coordinator re-checks per-operation rights in
+	// admit; this gate rejects capabilities lacking Invoke before they
+	// consume a virtual processor.
+	if !req.Target.Has(rights.Invoke) {
+		return msg.InvokeRep{Status: msg.StatusRights, Data: []byte("capability lacks invoke right")}, nil
+	}
 	if k.vprocs != nil {
 		// The node has a fixed pool of virtual processors; handler
 		// execution beyond it queues here.

@@ -131,6 +131,8 @@ func collectClassLimits(reg *Registry, tm *TypeManager) map[string]int {
 }
 
 // ID returns the object's unique name.
+//
+//edenvet:ignore capleak the kernel implements the capability layer; type managers mint capabilities from this name via SelfCapability
 func (o *Object) ID() edenid.ID { return o.id }
 
 // TypeName returns the name of the object's type manager.
@@ -340,6 +342,8 @@ func (o *Object) admit(c *callCtx) {
 // runProcess executes one invocation: acquire the class gate, run the
 // handler, and reply. "In the normal case, a new process will be
 // created and assigned the invocation."
+//
+//edenvet:ignore rightsgate admit verifies Invoke plus the operation's declared rights on the coordinator before spawning this process
 func (o *Object) runProcess(op *Operation, c *callCtx) {
 	defer func() {
 		o.mu.Lock()
@@ -471,6 +475,8 @@ type SegmentInfo struct {
 // short-term state.
 type Anatomy struct {
 	// Name is the object's unique name.
+	//
+	//edenvet:ignore capleak anatomy dumps reproduce the paper's Figure 4, which shows the raw unique name; no authority is conferred
 	Name edenid.ID
 	// TypeName identifies the type manager.
 	TypeName string

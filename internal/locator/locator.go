@@ -40,6 +40,8 @@ var (
 // is true the caller is running the failure-recovery protocol: a node
 // holding only a checkpoint backup (a remote checksite) should then
 // claim the object as home so it can be reincarnated there.
+//
+//edenvet:ignore capleak the location service operates below the capability layer on pure names; rights play no part in location
 type HostCheck func(id edenid.ID, recover bool) (home, replica bool)
 
 // SendFunc transmits one frame; the kernel supplies its transport's
@@ -135,6 +137,8 @@ func (l *Locator) Stats() Stats {
 
 // Learn installs a location hint. Replica hints accumulate; home
 // hints replace the previous home.
+//
+//edenvet:ignore capleak the location service operates below the capability layer on pure names; rights play no part in location
 func (l *Locator) Learn(id edenid.ID, node uint32, replica bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -153,6 +157,8 @@ func (l *Locator) Learn(id edenid.ID, node uint32, replica bool) {
 
 // Forget discards every hint for the object (e.g. after the hint
 // proved wrong or the object was destroyed).
+//
+//edenvet:ignore capleak the location service operates below the capability layer on pure names; rights play no part in location
 func (l *Locator) Forget(id edenid.ID) {
 	l.mu.Lock()
 	if _, ok := l.hints[id]; ok {
@@ -163,6 +169,8 @@ func (l *Locator) Forget(id edenid.ID) {
 }
 
 // DropReplica discards only the replica hint naming the given node.
+//
+//edenvet:ignore capleak the location service operates below the capability layer on pure names; rights play no part in location
 func (l *Locator) DropReplica(id edenid.ID, node uint32) {
 	l.mu.Lock()
 	if e := l.hints[id]; e != nil {
@@ -205,6 +213,8 @@ func (l *Locator) cached(id edenid.ID, wantHome bool) (Location, bool) {
 // Lookup resolves the object's home node, consulting the hint cache
 // and falling back to the broadcast protocol. A zero timeout uses
 // DefaultTimeout.
+//
+//edenvet:ignore capleak the location service operates below the capability layer on pure names; rights play no part in location
 func (l *Locator) Lookup(id edenid.ID, timeout time.Duration) (Location, error) {
 	return l.lookup(id, true, false, timeout)
 }
@@ -213,6 +223,8 @@ func (l *Locator) Lookup(id edenid.ID, timeout time.Duration) (Location, error) 
 // hint cache and asks every node — including nodes holding only a
 // checkpoint backup — to claim the object, so that after its home node
 // fails the object can reincarnate at a checksite.
+//
+//edenvet:ignore capleak the location service operates below the capability layer on pure names; rights play no part in location
 func (l *Locator) Recover(id edenid.ID, timeout time.Duration) (Location, error) {
 	l.Forget(id)
 	// The recovering node may itself hold the checkpoint backup; a
@@ -227,6 +239,8 @@ func (l *Locator) Recover(id edenid.ID, timeout time.Duration) (Location, error)
 // LookupAny resolves any node able to serve the object — its home or a
 // frozen replica. Read-only invocation paths use this to exploit
 // cached replicas.
+//
+//edenvet:ignore capleak the location service operates below the capability layer on pure names; rights play no part in location
 func (l *Locator) LookupAny(id edenid.ID, timeout time.Duration) (Location, error) {
 	return l.lookup(id, false, false, timeout)
 }

@@ -305,6 +305,8 @@ func DecodeInvokeRep(src []byte) (InvokeRep, error) {
 }
 
 // LocateReq is the payload of KindLocateReq.
+//
+//edenvet:ignore capleak wire frames carry raw names by design; rights travel only inside encoded capabilities
 type LocateReq struct {
 	// Object is the name being located.
 	Object edenid.ID
@@ -338,6 +340,8 @@ func DecodeLocateReq(src []byte) (LocateReq, error) {
 
 // LocateRep is the payload of KindLocateRep. Only nodes that host (or
 // hold a frozen replica of) the object answer.
+//
+//edenvet:ignore capleak wire frames carry raw names by design; rights travel only inside encoded capabilities
 type LocateRep struct {
 	// Object echoes the queried name.
 	Object edenid.ID
@@ -403,6 +407,8 @@ func (p ShipPurpose) String() string {
 
 // Ship is the payload of KindShip: an object's identity, type, flags
 // and encoded representation in transit between kernels.
+//
+//edenvet:ignore capleak wire frames carry raw names by design; rights travel only inside encoded capabilities
 type Ship struct {
 	// Purpose says what the receiver should do with the payload.
 	Purpose ShipPurpose

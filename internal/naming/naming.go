@@ -169,6 +169,12 @@ func validComponent(name string) bool {
 	return name != "" && !strings.Contains(name, "/")
 }
 
+// invokeOpts propagates the invoking node's configured budget so the
+// directory client's invocations carry a visible, bounded timeout.
+func invokeOpts(k *kernel.Kernel) *kernel.InvokeOptions {
+	return &kernel.InvokeOptions{Timeout: k.Config().DefaultTimeout}
+}
+
 // CreateRoot creates a new directory object on the given kernel and
 // returns a fully privileged capability for it.
 func CreateRoot(k *kernel.Kernel) (capability.Capability, error) {
@@ -178,25 +184,25 @@ func CreateRoot(k *kernel.Kernel) (capability.Capability, error) {
 // Bind binds name to target in the directory, failing if the name is
 // already bound.
 func Bind(k *kernel.Kernel, dir capability.Capability, name string, target capability.Capability) error {
-	_, err := k.Invoke(dir, "bind", []byte(name), capability.List{target}, nil)
+	_, err := k.Invoke(dir, "bind", []byte(name), capability.List{target}, invokeOpts(k))
 	return annotate(err)
 }
 
 // Rebind binds name to target, replacing any existing binding.
 func Rebind(k *kernel.Kernel, dir capability.Capability, name string, target capability.Capability) error {
-	_, err := k.Invoke(dir, "rebind", []byte(name), capability.List{target}, nil)
+	_, err := k.Invoke(dir, "rebind", []byte(name), capability.List{target}, invokeOpts(k))
 	return annotate(err)
 }
 
 // Unbind removes the binding for name.
 func Unbind(k *kernel.Kernel, dir capability.Capability, name string) error {
-	_, err := k.Invoke(dir, "unbind", []byte(name), nil, nil)
+	_, err := k.Invoke(dir, "unbind", []byte(name), nil, invokeOpts(k))
 	return annotate(err)
 }
 
 // Lookup returns the capability bound to name in the directory.
 func Lookup(k *kernel.Kernel, dir capability.Capability, name string) (capability.Capability, error) {
-	rep, err := k.Invoke(dir, "lookup", []byte(name), nil, nil)
+	rep, err := k.Invoke(dir, "lookup", []byte(name), nil, invokeOpts(k))
 	if err != nil {
 		return capability.Capability{}, annotate(err)
 	}
@@ -208,7 +214,7 @@ func Lookup(k *kernel.Kernel, dir capability.Capability, name string) (capabilit
 
 // List returns the names bound in the directory, sorted.
 func List(k *kernel.Kernel, dir capability.Capability) ([]string, error) {
-	rep, err := k.Invoke(dir, "list", nil, nil, nil)
+	rep, err := k.Invoke(dir, "list", nil, nil, invokeOpts(k))
 	if err != nil {
 		return nil, annotate(err)
 	}

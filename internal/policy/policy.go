@@ -201,6 +201,12 @@ func RegisterType(reg *kernel.Registry) error {
 	return reg.Register(tm)
 }
 
+// invokeOpts propagates the invoking node's configured invocation
+// budget to the policy's own invocations.
+func invokeOpts(k *kernel.Kernel) *kernel.InvokeOptions {
+	return &kernel.InvokeOptions{Timeout: k.Config().DefaultTimeout}
+}
+
 // Create creates a placement object on the kernel's node with the
 // given node pool.
 func Create(k *kernel.Kernel, nodes ...uint32) (capability.Capability, error) {
@@ -222,13 +228,13 @@ func SetNodes(k *kernel.Kernel, policy capability.Capability, nodes ...uint32) e
 	for _, n := range nodes {
 		b = binary.BigEndian.AppendUint32(b, n)
 	}
-	_, err := k.Invoke(policy, "set-nodes", b, nil, nil)
+	_, err := k.Invoke(policy, "set-nodes", b, nil, invokeOpts(k))
 	return err
 }
 
-// Place asks the policy where the object should live.
-func Place(k *kernel.Kernel, policy capability.Capability, id edenid.ID) (uint32, error) {
-	rep, err := k.Invoke(policy, "place", id.Encode(nil), nil, nil)
+// Place asks the policy where the subject object should live.
+func Place(k *kernel.Kernel, policy capability.Capability, subject capability.Capability) (uint32, error) {
+	rep, err := k.Invoke(policy, "place", subject.ID().Encode(nil), nil, invokeOpts(k))
 	if err != nil {
 		return 0, err
 	}
@@ -238,15 +244,15 @@ func Place(k *kernel.Kernel, policy capability.Capability, id edenid.ID) (uint32
 	return binary.BigEndian.Uint32(rep.Data), nil
 }
 
-// Release tells the policy an object no longer needs placement.
-func Release(k *kernel.Kernel, policy capability.Capability, id edenid.ID) error {
-	_, err := k.Invoke(policy, "release", id.Encode(nil), nil, nil)
+// Release tells the policy the subject object no longer needs placement.
+func Release(k *kernel.Kernel, policy capability.Capability, subject capability.Capability) error {
+	_, err := k.Invoke(policy, "release", subject.ID().Encode(nil), nil, invokeOpts(k))
 	return err
 }
 
 // Loads returns the policy's per-node assignment counts.
 func Loads(k *kernel.Kernel, policy capability.Capability) (map[uint32]uint32, error) {
-	rep, err := k.Invoke(policy, "loads", nil, nil, nil)
+	rep, err := k.Invoke(policy, "loads", nil, nil, invokeOpts(k))
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +276,7 @@ func Loads(k *kernel.Kernel, policy capability.Capability) (map[uint32]uint32, e
 // homed on k's node (the usual pattern: create locally, then let the
 // subsystem's policy distribute).
 func PlaceAndMove(k *kernel.Kernel, policy capability.Capability, subject capability.Capability) (uint32, error) {
-	dest, err := Place(k, policy, subject.ID())
+	dest, err := Place(k, policy, subject)
 	if err != nil {
 		return 0, err
 	}

@@ -51,7 +51,7 @@ func TestPlaceBalances(t *testing.T) {
 	counts := map[uint32]int{}
 	for i := 0; i < 9; i++ {
 		cap, _ := ks[1].Create("subject", nil)
-		dest, err := Place(ks[1], pol, cap.ID())
+		dest, err := Place(ks[1], pol, cap)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,11 +77,11 @@ func TestPlaceIdempotent(t *testing.T) {
 	ks, _ := testSys(t, 1, 2)
 	pol, _ := Create(ks[1], 1, 2)
 	cap, _ := ks[1].Create("subject", nil)
-	first, err := Place(ks[1], pol, cap.ID())
+	first, err := Place(ks[1], pol, cap)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := Place(ks[1], pol, cap.ID())
+	second, err := Place(ks[1], pol, cap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,8 +102,8 @@ func TestReleaseFreesCapacity(t *testing.T) {
 	ks, _ := testSys(t, 1, 2)
 	pol, _ := Create(ks[1], 1, 2)
 	capA, _ := ks[1].Create("subject", nil)
-	destA, _ := Place(ks[1], pol, capA.ID())
-	if err := Release(ks[1], pol, capA.ID()); err != nil {
+	destA, _ := Place(ks[1], pol, capA)
+	if err := Release(ks[1], pol, capA); err != nil {
 		t.Fatal(err)
 	}
 	loads, _ := Loads(ks[1], pol)
@@ -112,7 +112,7 @@ func TestReleaseFreesCapacity(t *testing.T) {
 	}
 	// Releasing an unknown object is a no-op.
 	ghost, _ := ks[1].Create("subject", nil)
-	if err := Release(ks[1], pol, ghost.ID()); err != nil {
+	if err := Release(ks[1], pol, ghost); err != nil {
 		t.Errorf("release unknown: %v", err)
 	}
 }
@@ -124,7 +124,7 @@ func TestEmptyPoolFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	cap, _ := ks[1].Create("subject", nil)
-	if _, err := Place(ks[1], pol, cap.ID()); err == nil {
+	if _, err := Place(ks[1], pol, cap); err == nil {
 		t.Error("placement against empty pool succeeded")
 	}
 }
@@ -138,7 +138,7 @@ func TestAdminRightRequired(t *testing.T) {
 	}
 	// Placement needs only Invoke.
 	cap, _ := ks[1].Create("subject", nil)
-	if _, err := Place(ks[1], weak, cap.ID()); err != nil {
+	if _, err := Place(ks[1], weak, cap); err != nil {
 		t.Errorf("place with invoke-only capability: %v", err)
 	}
 }
@@ -172,7 +172,7 @@ func TestSetNodesPreservesLoads(t *testing.T) {
 	ks, _ := testSys(t, 1, 2, 3)
 	pol, _ := Create(ks[1], 1, 2)
 	capA, _ := ks[1].Create("subject", nil)
-	destA, _ := Place(ks[1], pol, capA.ID())
+	destA, _ := Place(ks[1], pol, capA)
 	// Grow the pool; existing load on destA must be remembered.
 	if err := SetNodes(ks[1], pol, 1, 2, 3); err != nil {
 		t.Fatal(err)
@@ -190,7 +190,7 @@ func TestPolicySurvivesPassivation(t *testing.T) {
 	ks, _ := testSys(t, 1, 2)
 	pol, _ := Create(ks[1], 1, 2)
 	cap, _ := ks[1].Create("subject", nil)
-	if _, err := Place(ks[1], pol, cap.ID()); err != nil {
+	if _, err := Place(ks[1], pol, cap); err != nil {
 		t.Fatal(err)
 	}
 	obj, err := ks[1].Object(pol.ID())

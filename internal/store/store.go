@@ -44,6 +44,8 @@ var (
 
 // Record is one checkpoint: an object's identity, its type, and its
 // encoded representation at some version.
+//
+//edenvet:ignore capleak the store sits below the capability layer: checkpoints are keyed by unique name, and holding a record confers no invocation rights
 type Record struct {
 	// Object names the checkpointed object.
 	Object edenid.ID
@@ -60,6 +62,8 @@ type Record struct {
 
 // Store is the long-term storage interface the kernel checkpoints
 // against. Implementations must be safe for concurrent use.
+//
+//edenvet:ignore capleak the store sits below the capability layer: checkpoints are keyed by unique name, and holding a record confers no invocation rights
 type Store interface {
 	// Put installs a checkpoint atomically. It fails with ErrStale if
 	// rec.Version is not greater than the stored version.
@@ -113,6 +117,8 @@ func (m *Memory) Put(rec Record) error {
 }
 
 // Get implements Store.
+//
+//edenvet:ignore capleak implements Store, which is below the capability layer
 func (m *Memory) Get(id edenid.ID) (Record, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -128,6 +134,8 @@ func (m *Memory) Get(id edenid.ID) (Record, error) {
 }
 
 // Delete implements Store.
+//
+//edenvet:ignore capleak implements Store, which is below the capability layer
 func (m *Memory) Delete(id edenid.ID) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -139,6 +147,8 @@ func (m *Memory) Delete(id edenid.ID) error {
 }
 
 // List implements Store.
+//
+//edenvet:ignore capleak implements Store, which is below the capability layer
 func (m *Memory) List() ([]edenid.ID, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -291,6 +301,8 @@ func (f *File) getLocked(id edenid.ID) (Record, error) {
 }
 
 // Get implements Store.
+//
+//edenvet:ignore capleak implements Store, which is below the capability layer
 func (f *File) Get(id edenid.ID) (Record, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -298,6 +310,8 @@ func (f *File) Get(id edenid.ID) (Record, error) {
 }
 
 // Delete implements Store.
+//
+//edenvet:ignore capleak implements Store, which is below the capability layer
 func (f *File) Delete(id edenid.ID) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -308,6 +322,8 @@ func (f *File) Delete(id edenid.ID) error {
 }
 
 // List implements Store.
+//
+//edenvet:ignore capleak implements Store, which is below the capability layer
 func (f *File) List() ([]edenid.ID, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()

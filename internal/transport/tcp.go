@@ -179,6 +179,7 @@ type lockedConn struct {
 	mu sync.Mutex
 }
 
+//edenvet:ignore lockhold the write mutex exists precisely to serialize whole-frame writes; holding it across the write is the point
 func (c *lockedConn) Write(p []byte) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

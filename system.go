@@ -298,11 +298,11 @@ func (n *Node) InvokeAsync(target Capability, operation string, data []byte, cap
 	return n.Kernel().InvokeAsync(target, operation, data, caps, opts)
 }
 
-// Object returns the kernel handle of an object homed on this node,
-// activating it from a local checkpoint if necessary. Type
-// implementations normally use Call.Self instead; this is for hosting
-// and administrative code.
-func (n *Node) Object(id ID) (*Object, error) { return n.Kernel().Object(id) }
+// Object returns the kernel handle of the object a capability
+// designates, provided it is homed on this node — activating it from a
+// local checkpoint if necessary. Type implementations normally use
+// Call.Self instead; this is for hosting and administrative code.
+func (n *Node) Object(c Capability) (*Object, error) { return n.Kernel().Object(c.ID()) }
 
 // EFS returns an Eden File System client bound to this node using the
 // given concurrency-control mode.

@@ -107,7 +107,7 @@ func TestSystemCrashRestart(t *testing.T) {
 	if _, err := nodes[0].Invoke(cap, "inc", nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	obj, err := nodes[0].Object(cap.ID())
+	obj, err := nodes[0].Object(cap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +266,7 @@ func TestFileBackedNodeStore(t *testing.T) {
 	if _, err := n.Invoke(cap, "inc", nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	obj, _ := n.Object(cap.ID())
+	obj, _ := n.Object(cap)
 	if err := obj.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
