@@ -31,6 +31,7 @@ func runChaos(t *testing.T, seed int64) {
 		DefaultTimeout: 2 * time.Second,
 		LocateTimeout:  300 * time.Millisecond,
 		Seed:           42,
+		Telemetry:      true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -243,6 +244,44 @@ func runChaos(t *testing.T, seed int64) {
 				t.Fatalf("step %d: object %v active on %d nodes", step, o.cap.ID(), count)
 			}
 		}
+	}
+
+	// Partition phase: sever one link and invoke across it, forcing the
+	// network to drop frames, then heal. The locate broadcast to the
+	// severed node is lost, so the invocation fails with a defined
+	// error and the drop counters move.
+	preDrops := sys.NetworkStats().Dropped
+	lonely, err := nodes[1].CreateObject("chaos.counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Partition(nodes[0], nodes[1])
+	if _, err := nodes[0].Invoke(lonely, "get", nil, nil, &InvokeOptions{Timeout: 500 * time.Millisecond}); err == nil {
+		t.Error("invoke across a partition unexpectedly succeeded")
+	} else if !errors.Is(err, ErrNoSuchObject) && !errors.Is(err, ErrTimeout) {
+		t.Errorf("invoke across a partition: undefined error: %v", err)
+	}
+	sys.Heal(nodes[0], nodes[1])
+	if drops := sys.NetworkStats().Dropped; drops <= preDrops {
+		t.Errorf("partitioned invoke produced no drops (before %d, after %d)", preDrops, drops)
+	}
+
+	// Telemetry audit: the network registry's counters must agree
+	// exactly with the mesh's own accounting — they increment at the
+	// same sites, so any divergence is an instrumentation bug.
+	st := sys.NetworkStats()
+	net := sys.NetworkTelemetry().Snapshot()
+	if got := net.Counters["transport.send.frames"]; got != st.Frames {
+		t.Errorf("telemetry send.frames = %d, mesh counted %d", got, st.Frames)
+	}
+	if got := net.Counters["transport.send.bytes"]; got != st.Bytes {
+		t.Errorf("telemetry send.bytes = %d, mesh counted %d", got, st.Bytes)
+	}
+	if got := net.Counters["transport.dropped"]; got != st.Dropped {
+		t.Errorf("telemetry dropped = %d, mesh counted %d", got, st.Dropped)
+	}
+	if sent, recv := net.Counters["transport.send.frames"], net.Counters["transport.recv.frames"]; recv > sent {
+		t.Errorf("telemetry recv.frames %d exceeds accepted frames %d", recv, sent)
 	}
 
 	// Final audit: every object that ever checkpointed must still be

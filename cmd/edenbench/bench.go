@@ -1,0 +1,249 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"eden"
+	"eden/internal/segment"
+)
+
+// BenchReport is the machine-readable benchmark output, written as
+// BENCH_<rev>.json. The CI bench job compares it against the
+// checked-in bench_baseline.json and fails on throughput regressions.
+type BenchReport struct {
+	Rev     string        `json:"rev"`
+	Results []BenchResult `json:"results"`
+}
+
+// BenchResult is one op class's throughput and latency distribution,
+// the latter read from the telemetry registry's histograms.
+type BenchResult struct {
+	Name      string  `json:"name"`
+	Ops       int     `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Nanos  int64   `json:"p50_nanos"`
+	P95Nanos  int64   `json:"p95_nanos"`
+	P99Nanos  int64   `json:"p99_nanos"`
+}
+
+// benchType is a minimal type whose "ping" op returns its input — the
+// cheapest possible invocation, so the numbers measure kernel and
+// transport overhead rather than handler work.
+func benchType() *eden.TypeManager {
+	tm := eden.NewType("benchmark")
+	tm.Op(eden.Operation{
+		Name:     "ping",
+		ReadOnly: true,
+		Handler:  func(c *eden.Call) { c.Return(c.Data) },
+	})
+	return tm
+}
+
+// runBenchJSON measures the three op classes the roadmap tracks —
+// local invoke, remote (Mesh) invoke, and checkpoint — each on a fresh
+// system with telemetry enabled, and writes the report. If baseline is
+// non-empty the report is compared against it and an error returned on
+// any op class whose throughput regressed more than tolerance.
+func runBenchJSON(rev, out, baseline string, tolerance float64) error {
+	report := BenchReport{Rev: rev}
+
+	local, err := benchLocalInvoke(5000)
+	if err != nil {
+		return fmt.Errorf("local invoke: %w", err)
+	}
+	report.Results = append(report.Results, local)
+
+	remote, err := benchRemoteInvoke(2000)
+	if err != nil {
+		return fmt.Errorf("remote invoke: %w", err)
+	}
+	report.Results = append(report.Results, remote)
+
+	ckpt, err := benchCheckpoint(500)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	report.Results = append(report.Results, ckpt)
+
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%s.json", rev)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	for _, r := range report.Results {
+		fmt.Printf("  %-16s %9.0f ops/sec  p50 %-10v p95 %-10v p99 %v\n",
+			r.Name, r.OpsPerSec,
+			time.Duration(r.P50Nanos), time.Duration(r.P95Nanos), time.Duration(r.P99Nanos))
+	}
+
+	if baseline != "" {
+		return compareBaseline(report, baseline, tolerance)
+	}
+	return nil
+}
+
+// result distills one op class from its latency histogram plus the
+// measured wall-clock throughput.
+func result(name string, ops int, elapsed time.Duration, tel *eden.Telemetry, hist string) (BenchResult, error) {
+	snap := tel.Snapshot()
+	h, ok := snap.Histograms[hist]
+	if !ok || h.Count == 0 {
+		return BenchResult{}, fmt.Errorf("histogram %q recorded no samples", hist)
+	}
+	return BenchResult{
+		Name:      name,
+		Ops:       ops,
+		OpsPerSec: float64(ops) / elapsed.Seconds(),
+		P50Nanos:  int64(h.Quantile(0.50)),
+		P95Nanos:  int64(h.Quantile(0.95)),
+		P99Nanos:  int64(h.Quantile(0.99)),
+	}, nil
+}
+
+func benchLocalInvoke(ops int) (BenchResult, error) {
+	sys, err := eden.NewSystem(eden.SystemConfig{Telemetry: true})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer sys.Close()
+	if err := sys.RegisterType(benchType()); err != nil {
+		return BenchResult{}, err
+	}
+	n, err := sys.AddNode("bench")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	cap, err := n.CreateObject("benchmark")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	payload := []byte("ping")
+	opts := &eden.InvokeOptions{Timeout: 10 * time.Second}
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if _, err := n.Invoke(cap, "ping", payload, nil, opts); err != nil {
+			return BenchResult{}, err
+		}
+	}
+	return result("invoke.local", ops, time.Since(start), n.Telemetry(), "kernel.invoke.local.latency")
+}
+
+func benchRemoteInvoke(ops int) (BenchResult, error) {
+	sys, err := eden.NewSystem(eden.SystemConfig{Telemetry: true})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer sys.Close()
+	if err := sys.RegisterType(benchType()); err != nil {
+		return BenchResult{}, err
+	}
+	host, err := sys.AddNode("host")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	caller, err := sys.AddNode("caller")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	cap, err := host.CreateObject("benchmark")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	payload := []byte("ping")
+	opts := &eden.InvokeOptions{Timeout: 10 * time.Second}
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if _, err := caller.Invoke(cap, "ping", payload, nil, opts); err != nil {
+			return BenchResult{}, err
+		}
+	}
+	return result("invoke.remote", ops, time.Since(start), caller.Telemetry(), "kernel.invoke.remote.latency")
+}
+
+func benchCheckpoint(ops int) (BenchResult, error) {
+	sys, err := eden.NewSystem(eden.SystemConfig{Telemetry: true})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer sys.Close()
+	if err := sys.RegisterType(benchType()); err != nil {
+		return BenchResult{}, err
+	}
+	n, err := sys.AddNode("bench")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	cap, err := n.CreateObject("benchmark")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	obj, err := n.Object(cap)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	// Give the representation some substance so checkpoints encode a
+	// realistic payload rather than an empty record.
+	if err := obj.Update(func(r *segment.Representation) error {
+		r.SetData("blob", make([]byte, 4096))
+		return nil
+	}); err != nil {
+		return BenchResult{}, err
+	}
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if err := obj.Checkpoint(); err != nil {
+			return BenchResult{}, err
+		}
+	}
+	return result("checkpoint", ops, time.Since(start), n.Telemetry(), "kernel.checkpoint.latency")
+}
+
+// compareBaseline fails on any op class whose throughput fell more
+// than tolerance below the baseline's. New op classes (absent from the
+// baseline) pass; op classes removed relative to the baseline fail, so
+// a benchmark cannot silently disappear.
+func compareBaseline(report BenchReport, path string, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base BenchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	current := make(map[string]BenchResult, len(report.Results))
+	for _, r := range report.Results {
+		current[r.Name] = r
+	}
+	var failures []string
+	for _, b := range base.Results {
+		r, ok := current[b.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but not measured", b.Name))
+			continue
+		}
+		floor := b.OpsPerSec * (1 - tolerance)
+		if r.OpsPerSec < floor {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.0f ops/sec is %.0f%% below baseline %.0f (floor %.0f)",
+					b.Name, r.OpsPerSec, 100*(1-r.OpsPerSec/b.OpsPerSec), b.OpsPerSec, floor))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "regression: "+f)
+		}
+		return fmt.Errorf("%d benchmark regression(s) vs %s", len(failures), path)
+	}
+	fmt.Printf("no regressions vs %s (tolerance %.0f%%)\n", path, tolerance*100)
+	return nil
+}

@@ -24,7 +24,20 @@ import (
 func main() {
 	exp := flag.String("exp", "", "run a single experiment by id (E1..E10)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.Bool("json", false, "run the micro-benchmarks and write BENCH_<rev>.json instead of the experiment suite")
+	rev := flag.String("rev", "local", "revision label for the benchmark report filename")
+	out := flag.String("o", "", "benchmark report path (default BENCH_<rev>.json)")
+	baseline := flag.String("baseline", "", "compare the report against this baseline JSON and fail on regressions")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional throughput regression vs the baseline")
 	flag.Parse()
+
+	if *jsonOut {
+		if err := runBenchJSON(*rev, *out, *baseline, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

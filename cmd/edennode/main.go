@@ -25,8 +25,11 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -38,6 +41,7 @@ import (
 	"eden/internal/naming"
 	"eden/internal/segment"
 	"eden/internal/store"
+	"eden/internal/telemetry"
 	"eden/internal/transport"
 )
 
@@ -47,6 +51,7 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated peer list: num=host:port,...")
 	storeDir := flag.String("store", "", "directory for file-backed long-term storage (default: in-memory)")
 	name := flag.String("name", "", "node label (default: node-<num>)")
+	metrics := flag.String("metrics", "", "serve telemetry over HTTP on this address (e.g. 127.0.0.1:9100); empty disables")
 	flag.Parse()
 
 	if *name == "" {
@@ -91,7 +96,18 @@ func main() {
 	if err := reg.Register(counterType()); err != nil {
 		fatal("%v", err)
 	}
-	k := kernel.New(kernel.DefaultConfig(uint32(*node), *name), tr, reg, st)
+	cfg := kernel.DefaultConfig(uint32(*node), *name)
+	if *metrics != "" {
+		tel := telemetry.New()
+		cfg.Telemetry = tel
+		tr.SetTelemetry(tel)
+		addr, err := serveMetrics(*metrics, tel)
+		if err != nil {
+			fatal("metrics: %v", err)
+		}
+		fmt.Printf("telemetry on http://%s/metrics (traces at /trace)\n", addr)
+	}
+	k := kernel.New(cfg, tr, reg, st)
 	defer k.Close()
 
 	fmt.Printf("%s listening on %s; peers: %v\n", *name, tr.Addr(), tr.Peers())
@@ -104,6 +120,41 @@ func main() {
 func fatal(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(1)
+}
+
+// serveMetrics exposes the node's telemetry registry over HTTP in the
+// expvar style: GET /metrics returns the full snapshot as JSON, GET
+// /trace the recent invocation spans (optionally ?trace=<id> for one
+// invocation). It returns the bound address.
+func serveMetrics(addr string, tel *telemetry.Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(tel.Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		spans := tel.Spans()
+		if q := r.URL.Query().Get("trace"); q != "" {
+			id, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			spans = tel.SpansFor(id)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(spans)
+	})
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
 }
 
 // counterType gives every node a demo type to play with. It extends

@@ -34,6 +34,7 @@ import (
 	"eden/internal/kernel"
 	"eden/internal/rights"
 	"eden/internal/segment"
+	"eden/internal/telemetry"
 )
 
 // Re-exported core types. The public vocabulary of Eden is small:
@@ -83,6 +84,17 @@ type (
 	Semaphore = kernel.Semaphore
 	// Port is the kernel-supplied intra-object message port.
 	Port = kernel.Port
+	// Telemetry is a node's metrics-and-tracing registry, enabled via
+	// SystemConfig.Telemetry and read via Node.Telemetry.
+	Telemetry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time copy of a registry's
+	// counters, gauges and histograms.
+	TelemetrySnapshot = telemetry.Snapshot
+	// HistogramSnapshot is one latency distribution within a snapshot;
+	// it answers Quantile queries (p50/p95/p99).
+	HistogramSnapshot = telemetry.HistogramSnapshot
+	// SpanRecord is one completed invocation-trace span.
+	SpanRecord = telemetry.SpanRecord
 )
 
 // Kernel-defined rights, re-exported.

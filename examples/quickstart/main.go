@@ -84,7 +84,7 @@ func counterType() *eden.TypeManager {
 }
 
 func main() {
-	sys, err := eden.NewSystem(eden.SystemConfig{})
+	sys, err := eden.NewSystem(eden.SystemConfig{Telemetry: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -172,5 +172,16 @@ func main() {
 
 	st := sys.NetworkStats()
 	fmt.Printf("network carried %d frames, %d bytes (dropped %d)\n", st.Frames, st.Bytes, st.Dropped)
+
+	// Telemetry: each node kept metrics and invocation traces while the
+	// walkthrough ran. Summarize gamma's view — it invoked objects on
+	// every other node.
+	snap := gamma.Telemetry().Snapshot()
+	fmt.Printf("gamma telemetry: %d local / %d remote invocations",
+		snap.Counters["kernel.invoke.local"], snap.Counters["kernel.invoke.remote"])
+	if h, ok := snap.Histograms["kernel.invoke.remote.latency"]; ok {
+		fmt.Printf(", remote p95 %v", h.Quantile(0.95))
+	}
+	fmt.Println()
 	fmt.Println("== done ==")
 }

@@ -7,8 +7,9 @@
 // reference (capleak), the target's side checks rights before any
 // handler runs (rightsgate), kernel mutexes are never held across
 // blocking operations (lockhold), errors crossing the kernel boundary
-// wrap the sentinel taxonomy (sentinelwrap), and every invocation
-// carries a bounded timeout (timeoutprop).
+// wrap the sentinel taxonomy (sentinelwrap), every invocation carries
+// a bounded timeout (timeoutprop), and every deadline-bearing kernel
+// or transport entry point records a latency sample (telemetrytag).
 //
 // Everything here is built on go/ast, go/parser, go/token and go/types
 // only, so the suite builds in an offline environment with a bare
@@ -43,6 +44,7 @@ func All() []*Analyzer {
 		LockHold,
 		SentinelWrap,
 		TimeoutProp,
+		TelemetryTag,
 	}
 }
 

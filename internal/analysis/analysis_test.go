@@ -63,6 +63,7 @@ func TestFixtures(t *testing.T) {
 		{"lockhold", LockHold},
 		{"sentinelwrap", SentinelWrap},
 		{"timeoutprop", TimeoutProp},
+		{"telemetrytag", TelemetryTag},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

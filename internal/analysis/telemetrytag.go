@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TelemetryTag enforces the observability discipline introduced with
+// the telemetry subsystem: an exported kernel or transport entry point
+// that takes a deadline (a time.Duration or time.Time parameter) is a
+// place where callers wait, and every such wait must be visible in the
+// metrics — the function must record a telemetry sample (a call into
+// eden/internal/telemetry) on its path. Without this rule, new
+// deadline-bearing APIs silently escape the latency histograms and the
+// benchmark gate watches an ever-shrinking fraction of the system.
+//
+// Only direct parameters count: a function-typed parameter that merely
+// mentions time.Duration (Mesh.SetLatency's link-delay callback, say)
+// configures behavior rather than waiting on a deadline.
+var TelemetryTag = &Analyzer{
+	Name: "telemetrytag",
+	Doc:  "exported kernel/transport entry points taking a deadline must record a telemetry sample",
+	Run:  runTelemetryTag,
+}
+
+func runTelemetryTag(pass *Pass) {
+	// The rule governs the two layers whose waits the benchmark gate
+	// tracks. Fixture packages load under synthetic paths, so accept
+	// the package name as well.
+	inScope := pathHasSuffix(pass.PkgPath, "internal/kernel") ||
+		pathHasSuffix(pass.PkgPath, "internal/transport") ||
+		pass.Pkg.Name() == "kernel" || pass.Pkg.Name() == "transport"
+	if !inScope {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if !exportedReceiver(pass, fd) {
+				continue
+			}
+			if !hasDeadlineParam(pass, fd) {
+				continue
+			}
+			if recordsTelemetry(pass, fd.Body) {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(),
+				"exported %s takes a deadline but records no telemetry sample; observe the wait (or the operation it bounds) in a telemetry instrument", fd.Name.Name)
+		}
+	}
+}
+
+// exportedReceiver reports whether fd is a plain function or a method
+// on an exported type — an exported method on an unexported type is
+// not a public entry point.
+func exportedReceiver(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	name := namedTypeName(pass.Info.TypeOf(fd.Recv.List[0].Type))
+	return name == "" || ast.IsExported(name)
+}
+
+// hasDeadlineParam reports whether fd has a direct parameter of type
+// time.Duration or time.Time. It deliberately does not descend into
+// composite or function types.
+func hasDeadlineParam(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if isTimeType(pass.Info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isTimeType reports whether t is the time package's Duration or Time.
+func isTimeType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+		return false
+	}
+	return obj.Name() == "Duration" || obj.Name() == "Time"
+}
+
+// recordsTelemetry reports whether the body contains any call whose
+// callee belongs to eden/internal/telemetry — a method on one of its
+// instruments (Counter, Gauge, Histogram, Span, Registry) or one of
+// its package functions. Calls into helpers that themselves record
+// (an unexported sibling wrapping the instrumented path) do not count;
+// the sample must be visible at the entry point.
+func recordsTelemetry(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// Package function: telemetry.New, telemetry.NextTraceID, ...
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+				if pathHasSuffix(pn.Imported().Path(), "internal/telemetry") {
+					found = true
+					return false
+				}
+				return true
+			}
+		}
+		// Method on a telemetry-declared type (possibly behind a
+		// pointer): c.Inc(), h.Observe(d), sp.End(status).
+		if tv, ok := pass.Info.Types[sel.X]; ok {
+			if _, ok := namedFromPkg(tv.Type, "internal/telemetry", 0); ok {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

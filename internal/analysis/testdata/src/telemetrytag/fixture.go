@@ -1,0 +1,74 @@
+// Package kernel (fixture) exercises the telemetrytag analyzer: an
+// exported entry point with a deadline parameter must record a
+// telemetry sample; functions without deadlines, unexported functions,
+// methods on unexported types, and function-typed parameters that
+// merely mention time.Duration are all out of scope.
+package kernel
+
+import (
+	"time"
+
+	"eden/internal/telemetry"
+)
+
+// Port is an exported type whose methods are public entry points.
+type Port struct {
+	wait *telemetry.Histogram
+}
+
+// Receive observes its wait: compliant.
+func (p *Port) Receive(timeout time.Duration) ([]byte, error) {
+	start := time.Now()
+	m, err := p.receive(timeout)
+	p.wait.Observe(time.Since(start))
+	return m, err
+}
+
+// Drain takes a deadline but records nothing.
+func (p *Port) Drain(timeout time.Duration) error { // want "records no telemetry sample"
+	_, err := p.receive(timeout)
+	return err
+}
+
+// WaitUntil takes an absolute deadline; time.Time counts too.
+func (p *Port) WaitUntil(deadline time.Time) error { // want "records no telemetry sample"
+	_ = deadline
+	return nil
+}
+
+// receive is unexported: delegating to it does not discharge the
+// exported caller's obligation, and it owes no sample itself.
+func (p *Port) receive(timeout time.Duration) ([]byte, error) {
+	_ = timeout
+	return nil, nil
+}
+
+// Span recording through a Registry counts too: the wait is visible
+// in the trace ring rather than a histogram.
+func Locate(reg *telemetry.Registry, timeout time.Duration) uint64 {
+	trace := reg.NextTraceID(1)
+	sp := reg.StartSpan("locate", trace, 1)
+	_ = timeout
+	sp.End("ok")
+	return trace
+}
+
+// SetLatency's parameter is a function type that mentions
+// time.Duration; it configures behavior rather than bounding a wait,
+// so no sample is owed.
+func (p *Port) SetLatency(f func(from, to uint32) time.Duration) {
+	_ = f
+}
+
+// Len takes no deadline: out of scope.
+func (p *Port) Len() int { return 0 }
+
+// port is unexported, so its exported-looking method is not a public
+// entry point.
+type port struct{}
+
+// Receive on the unexported type owes nothing.
+func (p *port) Receive(timeout time.Duration) error {
+	_ = timeout
+	return nil
+}

@@ -43,6 +43,7 @@ var tidCounter atomic.Uint64
 type Client struct {
 	k    *kernel.Kernel
 	mode CCMode
+	tel  efsTel
 }
 
 // opts propagates the node's configured invocation budget to the
@@ -55,7 +56,7 @@ func (c *Client) opts() *kernel.InvokeOptions {
 // NewClient returns an EFS client bound to a kernel, using the given
 // concurrency-control mode for its transactions.
 func NewClient(k *kernel.Kernel, mode CCMode) *Client {
-	return &Client{k: k, mode: mode}
+	return &Client{k: k, mode: mode, tel: newEFSTel(k.Telemetry())}
 }
 
 // Mode returns the client's concurrency-control mode.
@@ -105,6 +106,7 @@ func (c *Client) Read(file capability.Capability) (data []byte, version uint64, 
 // ReadVersion returns the given version (0 = latest). Versions are
 // immutable, so any replica can serve any version it holds.
 func (c *Client) ReadVersion(file capability.Capability, version uint64) ([]byte, uint64, error) {
+	c.tel.reads.Inc()
 	var req [8]byte
 	binary.BigEndian.PutUint64(req[:], version)
 	rep, err := c.k.Invoke(file, "read", req[:], nil, c.opts())
@@ -168,6 +170,7 @@ type txWrite struct {
 
 // Begin starts a transaction.
 func (c *Client) Begin() *Tx {
+	c.tel.begins.Inc()
 	return &Tx{
 		c:   c,
 		tid: fmt.Sprintf("tx-%d-%d", c.k.Node(), tidCounter.Add(1)),
@@ -198,12 +201,14 @@ func (t *Tx) Write(file capability.Capability, base uint64, data []byte) error {
 	if t.c.mode == Locking {
 		if _, err := t.c.k.Invoke(file, "lock", []byte(t.tid), nil, t.c.opts()); err != nil {
 			if isConflict(err) {
+				t.c.tel.conflicts.Inc()
 				return fmt.Errorf("%w: %v", ErrConflict, err)
 			}
 			return err
 		}
 		t.locked = append(t.locked, file)
 	}
+	t.c.tel.writes.Inc()
 	// Replace an earlier buffered write of the same file.
 	for i := range t.writes {
 		if t.writes[i].file.ID() == file.ID() {
@@ -234,8 +239,10 @@ func (t *Tx) Commit() error {
 		return ErrBadTransaction
 	}
 	t.done = true
+	start := t.c.tel.commitLat.Start()
 	if len(t.writes) == 0 {
 		t.releaseLocks()
+		t.c.tel.commits.Inc()
 		return nil
 	}
 
@@ -251,7 +258,9 @@ func (t *Tx) Commit() error {
 			// A no vote (or a failure) aborts the transaction.
 			t.abortAll(prepared)
 			t.releaseLocks()
+			t.c.tel.aborts.Inc()
 			if isConflict(err) {
+				t.c.tel.conflicts.Inc()
 				return fmt.Errorf("%w: %v", ErrConflict, err)
 			}
 			return fmt.Errorf("efs: prepare: %w", err)
@@ -270,6 +279,8 @@ func (t *Tx) Commit() error {
 		}
 	}
 	t.releaseLocks()
+	t.c.tel.commitLat.ObserveSince(start)
+	t.c.tel.commits.Inc()
 	return firstErr
 }
 
@@ -279,6 +290,7 @@ func (t *Tx) Abort() {
 		return
 	}
 	t.done = true
+	t.c.tel.aborts.Inc()
 	files := make([]capability.Capability, 0, len(t.writes))
 	for _, w := range t.writes {
 		files = append(files, w.file)

@@ -1,0 +1,45 @@
+package efs
+
+import (
+	"eden/internal/telemetry"
+)
+
+// Metric names reported by an EFS client. Transaction outcomes are
+// counted once per transaction; reads and writes once per operation.
+const (
+	metricReads     = "efs.reads"
+	metricWrites    = "efs.writes"
+	metricTxBegins  = "efs.tx.begins"
+	metricTxCommits = "efs.tx.commits"
+	metricTxAborts  = "efs.tx.aborts"
+	metricConflicts = "efs.tx.conflicts"
+	metricCommitLat = "efs.tx.commit.latency"
+)
+
+// efsTel holds a client's pre-resolved instruments. The zero value
+// (all nil fields) is the disabled state: every instrument call is a
+// nil-receiver no-op.
+type efsTel struct {
+	reads     *telemetry.Counter
+	writes    *telemetry.Counter
+	begins    *telemetry.Counter
+	commits   *telemetry.Counter
+	aborts    *telemetry.Counter
+	conflicts *telemetry.Counter
+	commitLat *telemetry.Histogram
+}
+
+func newEFSTel(reg *telemetry.Registry) efsTel {
+	if reg == nil {
+		return efsTel{}
+	}
+	return efsTel{
+		reads:     reg.Counter(metricReads),
+		writes:    reg.Counter(metricWrites),
+		begins:    reg.Counter(metricTxBegins),
+		commits:   reg.Counter(metricTxCommits),
+		aborts:    reg.Counter(metricTxAborts),
+		conflicts: reg.Counter(metricConflicts),
+		commitLat: reg.Histogram(metricCommitLat),
+	}
+}

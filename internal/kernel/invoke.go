@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -81,16 +82,27 @@ func (k *Kernel) Invoke(target capability.Capability, operation string, data []b
 		Caps:         caps,
 		TimeoutNanos: int64(o.Timeout),
 	}
-	return k.invoke(req, o.AllowReplica, deadline)
+	// One trace id per user-level invocation; it rides the envelope so
+	// the serving node's span joins this one. With telemetry disabled
+	// the id is 0, the span inert, and nothing below allocates for it.
+	trace := k.tel.reg.NextTraceID(k.cfg.Node)
+	sp := k.tel.reg.StartSpan("invoke", trace, k.cfg.Node)
+	rep, err := k.invoke(req, o.AllowReplica, deadline, trace)
+	sp.End(spanStatus(err))
+	if err != nil && errors.Is(err, ErrTimeout) {
+		k.tel.timeouts.Inc()
+	}
+	return rep, err
 }
 
 // invoke routes one invocation, chasing moves and falling back to
 // recovery, until the deadline. One correlation id is allocated per
 // *logical* invocation and reused across retransmissions, so the
 // serving kernel can deduplicate re-executions.
-func (k *Kernel) invoke(req msg.InvokeReq, allowReplica bool, deadline time.Time) (Reply, error) {
+func (k *Kernel) invoke(req msg.InvokeReq, allowReplica bool, deadline time.Time, trace uint64) (Reply, error) {
 	id := req.Target.ID()
 	corr := k.corr.Add(1)
+	start := k.tel.now() // zero (no clock read) when telemetry is off
 	triedRecovery := false
 	for hop := 0; hop < maxHops; hop++ {
 		remaining := time.Until(deadline)
@@ -113,6 +125,7 @@ func (k *Kernel) invoke(req msg.InvokeReq, allowReplica bool, deadline time.Time
 				}
 				return Reply{}, ErrNoSuchObject
 			}
+			k.tel.localLat.ObserveSince(start)
 			return replyFrom(rep)
 		}
 
@@ -161,7 +174,7 @@ func (k *Kernel) invoke(req msg.InvokeReq, allowReplica bool, deadline time.Time
 				attempt = time.Second
 			}
 		}
-		rep, err := k.invokeRemote(loc.Node, corr, req, attempt)
+		rep, err := k.invokeRemote(loc.Node, corr, trace, req, attempt)
 		if err != nil {
 			// The hinted node may be stale or down; drop the hint and
 			// retry through location.
@@ -189,6 +202,7 @@ func (k *Kernel) invoke(req msg.InvokeReq, allowReplica bool, deadline time.Time
 			k.loc.Forget(id)
 			continue
 		}
+		k.tel.remoteLat.ObserveSince(start)
 		return replyFrom(rep)
 	}
 	return Reply{}, fmt.Errorf("%w: forwarding chain exceeded %d hops", ErrNoSuchObject, maxHops)
@@ -252,6 +266,12 @@ func (k *Kernel) tryLocal(req msg.InvokeReq, allowReplica, remoteOrigin bool, ti
 		}
 	}
 	k.stLocal.Add(1)
+	// Served requests that arrived over the wire are counted by
+	// kernel.invoke.served at the dedup layer; invLocal counts only
+	// invocations that originated here and never touched the network.
+	if !remoteOrigin {
+		k.tel.invLocal.Inc()
+	}
 	rep, err := k.dispatch(obj, req, timeout)
 	return rep, true, err
 }
@@ -266,8 +286,10 @@ func (k *Kernel) dispatch(obj *Object, req msg.InvokeReq, timeout time.Duration)
 	// admit; this gate rejects capabilities lacking Invoke before they
 	// consume a virtual processor.
 	if !req.Target.Has(rights.Invoke) {
+		k.tel.rightsDenied.Inc()
 		return msg.InvokeRep{Status: msg.StatusRights, Data: []byte("capability lacks invoke right")}, nil
 	}
+	start := k.tel.dispatchLat.Start()
 	if k.vprocs != nil {
 		// The node has a fixed pool of virtual processors; handler
 		// execution beyond it queues here.
@@ -296,6 +318,10 @@ func (k *Kernel) dispatch(obj *Object, req msg.InvokeReq, timeout time.Duration)
 	}
 	select {
 	case rep := <-c.replyCh:
+		k.tel.dispatchLat.ObserveSince(start)
+		if rep.Status == msg.StatusRights {
+			k.tel.rightsDenied.Inc()
+		}
 		return rep, nil
 	case <-timer.C:
 		// "The invoker wishes to be notified if the invocation is not
@@ -321,7 +347,7 @@ func (k *Kernel) retryAfterDown(obj *Object, req msg.InvokeReq) (msg.InvokeRep, 
 // invokeRemote ships the request to another node's kernel and awaits
 // its reply envelope. corr identifies the logical invocation across
 // retries (the receiver deduplicates on it).
-func (k *Kernel) invokeRemote(node uint32, corr uint64, req msg.InvokeReq, timeout time.Duration) (msg.InvokeRep, error) {
+func (k *Kernel) invokeRemote(node uint32, corr, trace uint64, req msg.InvokeReq, timeout time.Duration) (msg.InvokeRep, error) {
 	if timeout <= 0 {
 		return msg.InvokeRep{}, ErrTimeout
 	}
@@ -340,9 +366,11 @@ func (k *Kernel) invokeRemote(node uint32, corr uint64, req msg.InvokeReq, timeo
 		Kind:    msg.KindInvokeReq,
 		To:      node,
 		Corr:    corr,
+		Trace:   trace,
 		Payload: req.Encode(nil),
 	}
 	k.stRemote.Add(1)
+	k.tel.invRemote.Inc()
 	if err := k.tr.Send(env); err != nil {
 		return msg.InvokeRep{}, fmt.Errorf("kernel: send to node %d: %w", node, err)
 	}
@@ -383,6 +411,7 @@ func (k *Kernel) serveInvoke(env msg.Envelope) {
 				Kind:    msg.KindInvokeRep,
 				To:      env.From,
 				Corr:    env.Corr,
+				Trace:   env.Trace,
 				Payload: entry.rep.Encode(nil),
 			})
 		case <-time.After(timeout):
@@ -399,12 +428,18 @@ func (k *Kernel) serveInvoke(env msg.Envelope) {
 	k.servedMu.Unlock()
 
 	k.stServed.Add(1)
+	k.tel.invServed.Inc()
+	// The serving-side span joins the invoker's via the envelope's
+	// trace id; together they split a remote invocation's latency into
+	// service time (here) and everything else (wire + location).
+	sp := k.tel.reg.StartSpan("serve", env.Trace, k.cfg.Node)
 	rep, served, derr := k.serveLocally(req, timeout)
 	if derr != nil {
 		rep = msg.InvokeRep{Status: msg.StatusCrashed, Data: []byte(derr.Error())}
 	} else if !served {
 		rep = msg.InvokeRep{Status: msg.StatusNoSuchObject}
 	}
+	sp.End(rep.Status.String())
 	k.servedMu.Lock()
 	entry.rep = rep
 	k.servedMu.Unlock()
@@ -422,6 +457,7 @@ func (k *Kernel) serveInvoke(env msg.Envelope) {
 		Kind:    msg.KindInvokeRep,
 		To:      env.From,
 		Corr:    env.Corr,
+		Trace:   env.Trace,
 		Payload: rep.Encode(nil),
 	})
 }

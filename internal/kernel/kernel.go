@@ -14,6 +14,7 @@ import (
 	"eden/internal/rights"
 	"eden/internal/segment"
 	"eden/internal/store"
+	"eden/internal/telemetry"
 	"eden/internal/transport"
 )
 
@@ -49,6 +50,9 @@ type Config struct {
 	Satellites []string
 	// DefaultTimeout bounds invocations that pass no timeout.
 	DefaultTimeout time.Duration
+	// Telemetry, when non-nil, receives the kernel's metrics and
+	// invocation trace spans. Nil disables telemetry at zero cost.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the paper's default Eden node machine: two
@@ -140,6 +144,7 @@ type Kernel struct {
 	loc   *locator.Locator
 	gen   *edenid.Generator
 	store store.Store
+	tel   kernelTel
 
 	mu       sync.Mutex
 	active   map[edenid.ID]*Object
@@ -182,12 +187,16 @@ func New(cfg Config, tr transport.Transport, types *Registry, st store.Store) *K
 	if st == nil {
 		st = store.NewMemory()
 	}
+	// The kernel observes its store through the instrumenting wrapper;
+	// with telemetry disabled Instrument returns st unchanged.
+	st = store.Instrument(st, cfg.Telemetry)
 	k := &Kernel{
 		cfg:      cfg,
 		tr:       tr,
 		types:    types,
 		gen:      edenid.NewGenerator(cfg.Node),
 		store:    st,
+		tel:      newKernelTel(cfg.Telemetry),
 		active:   make(map[edenid.ID]*Object),
 		replicas: make(map[edenid.ID]*Object),
 		forwards: make(map[edenid.ID]uint32),
@@ -415,6 +424,8 @@ func (k *Kernel) install(obj *Object) error {
 	obj.charged.Store(size)
 	k.memInUse += size
 	delete(k.forwards, obj.id)
+	k.tel.activeObjects.Add(1)
+	k.tel.memBytes.Set(k.memInUse)
 	k.mu.Unlock()
 	go obj.coordinate()
 	return nil
@@ -439,6 +450,7 @@ func (k *Kernel) recharge(obj *Object, newSize int64) {
 	if k.memInUse < 0 {
 		k.memInUse = 0
 	}
+	k.tel.memBytes.Set(k.memInUse)
 	over := k.cfg.MemoryBytes > 0 && k.cfg.EvictOnPressure && k.memInUse > k.cfg.MemoryBytes
 	budget := k.cfg.MemoryBytes
 	k.mu.Unlock()
@@ -496,6 +508,8 @@ func (k *Kernel) Close() error {
 	k.active = make(map[edenid.ID]*Object)
 	k.replicas = make(map[edenid.ID]*Object)
 	k.memInUse = 0
+	k.tel.activeObjects.Set(0)
+	k.tel.memBytes.Set(0)
 	k.mu.Unlock()
 	for _, o := range objs {
 		o.destroyActiveState(0)

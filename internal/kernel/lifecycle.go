@@ -97,8 +97,11 @@ func (o *Object) Checkpoint() error {
 	}
 	o.mu.Unlock()
 
+	start := o.k.tel.ckptLat.Start()
 	err := o.k.writeCheckpoint(o.id, o.tm.Name, ver, frozen, encoded, partial, removed)
 	if err == nil {
+		o.k.tel.ckptLat.ObserveSince(start)
+		o.k.tel.ckptBytes.Add(int64(len(encoded)))
 		o.k.stCkpt.Add(1)
 		o.k.stCkptBytes.Add(int64(len(encoded)))
 		return nil
@@ -268,6 +271,8 @@ func (k *Kernel) removeActive(o *Object) {
 		if k.memInUse < 0 {
 			k.memInUse = 0
 		}
+		k.tel.activeObjects.Add(-1)
+		k.tel.memBytes.Set(k.memInUse)
 	}
 	delete(k.replicas, o.id)
 	k.mu.Unlock()
@@ -393,6 +398,8 @@ func (k *Kernel) moveObject(o *Object, to uint32) error {
 	if k.memInUse < 0 {
 		k.memInUse = 0
 	}
+	k.tel.activeObjects.Add(-1)
+	k.tel.memBytes.Set(k.memInUse)
 	k.forwards[o.id] = to
 	delete(k.sites, o.id)
 	// The incremental-checkpoint base tracking must not survive the

@@ -217,7 +217,7 @@ func (o *Object) Port(name string, capacity int) *Port {
 	if p, ok := o.ports[name]; ok {
 		return p
 	}
-	p := newPort(capacity, o.down)
+	p := newPort(capacity, o.down, o.k.tel.portWait)
 	o.ports[name] = p
 	return p
 }

@@ -3,6 +3,8 @@ package kernel
 import (
 	"errors"
 	"time"
+
+	"eden/internal/telemetry"
 )
 
 // This file supplies the paper's intra-object communication and
@@ -72,13 +74,14 @@ func (s *Semaphore) V() {
 type Port struct {
 	ch   chan []byte
 	down <-chan struct{}
+	wait *telemetry.Histogram // Receive wait latency (nil when disabled)
 }
 
-func newPort(capacity int, down <-chan struct{}) *Port {
+func newPort(capacity int, down <-chan struct{}, wait *telemetry.Histogram) *Port {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Port{ch: make(chan []byte, capacity), down: down}
+	return &Port{ch: make(chan []byte, capacity), down: down, wait: wait}
 }
 
 // Send enqueues a message (copied), blocking while the port is full.
@@ -104,8 +107,15 @@ func (p *Port) TrySend(m []byte) bool {
 
 // Receive dequeues the next message, blocking until one arrives, the
 // timeout (if positive) expires, or the object's active state is
-// destroyed.
+// destroyed. The time spent waiting is recorded as a latency sample.
 func (p *Port) Receive(timeout time.Duration) ([]byte, error) {
+	start := p.wait.Start()
+	m, err := p.receive(timeout)
+	p.wait.ObserveSince(start)
+	return m, err
+}
+
+func (p *Port) receive(timeout time.Duration) ([]byte, error) {
 	if timeout <= 0 {
 		select {
 		case m := <-p.ch:

@@ -20,8 +20,9 @@ import (
 )
 
 // Version is the protocol version carried in every envelope. Peers
-// reject frames with a different version outright.
-const Version = 1
+// reject frames with a different version outright. Version 2 added
+// the trace id to the envelope header.
+const Version = 2
 
 // Kind identifies the payload carried by an envelope.
 type Kind uint8
@@ -83,12 +84,17 @@ type Envelope struct {
 	To uint32
 	// Corr correlates replies with requests; the requester picks it.
 	Corr uint64
+	// Trace is the invocation trace id the frame belongs to, minted by
+	// the originating kernel and echoed in replies, so one user-level
+	// invocation can be followed across every node it touches. Zero
+	// means untraced.
+	Trace uint64
 	// Payload is the kind-specific body, already encoded.
 	Payload []byte
 }
 
-// envelope header: version(1) kind(1) from(4) to(4) corr(8) payloadLen(4)
-const headerSize = 1 + 1 + 4 + 4 + 8 + 4
+// envelope header: version(1) kind(1) from(4) to(4) corr(8) trace(8) payloadLen(4)
+const headerSize = 1 + 1 + 4 + 4 + 8 + 8 + 4
 
 // EncodeEnvelope appends the wire form of e to dst.
 func EncodeEnvelope(dst []byte, e Envelope) []byte {
@@ -96,6 +102,7 @@ func EncodeEnvelope(dst []byte, e Envelope) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, e.From)
 	dst = binary.BigEndian.AppendUint32(dst, e.To)
 	dst = binary.BigEndian.AppendUint64(dst, e.Corr)
+	dst = binary.BigEndian.AppendUint64(dst, e.Trace)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(e.Payload)))
 	return append(dst, e.Payload...)
 }
@@ -110,12 +117,13 @@ func DecodeEnvelope(src []byte) (Envelope, []byte, error) {
 		return Envelope{}, src, fmt.Errorf("%w: version %d, want %d", ErrBadFrame, src[0], Version)
 	}
 	e := Envelope{
-		Kind: Kind(src[1]),
-		From: binary.BigEndian.Uint32(src[2:6]),
-		To:   binary.BigEndian.Uint32(src[6:10]),
-		Corr: binary.BigEndian.Uint64(src[10:18]),
+		Kind:  Kind(src[1]),
+		From:  binary.BigEndian.Uint32(src[2:6]),
+		To:    binary.BigEndian.Uint32(src[6:10]),
+		Corr:  binary.BigEndian.Uint64(src[10:18]),
+		Trace: binary.BigEndian.Uint64(src[18:26]),
 	}
-	plen := int(binary.BigEndian.Uint32(src[18:22]))
+	plen := int(binary.BigEndian.Uint32(src[26:30]))
 	rest := src[headerSize:]
 	if plen < 0 || len(rest) < plen {
 		return Envelope{}, src, fmt.Errorf("%w: truncated payload (%d of %d bytes)", ErrBadFrame, len(rest), plen)

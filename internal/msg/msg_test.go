@@ -17,6 +17,7 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 		From:    3,
 		To:      7,
 		Corr:    0xDEADBEEF,
+		Trace:   0xFACE0FF1CE,
 		Payload: []byte("payload"),
 	}
 	buf := EncodeEnvelope(nil, e)
@@ -28,7 +29,7 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 		t.Errorf("%d residual bytes", len(rest))
 	}
 	if got.Kind != e.Kind || got.From != e.From || got.To != e.To ||
-		got.Corr != e.Corr || string(got.Payload) != string(e.Payload) {
+		got.Corr != e.Corr || got.Trace != e.Trace || string(got.Payload) != string(e.Payload) {
 		t.Errorf("round trip changed envelope: %+v -> %+v", e, got)
 	}
 }
@@ -228,14 +229,14 @@ func TestKindAndPurposeStrings(t *testing.T) {
 // Property: envelope encode→decode is the identity for arbitrary
 // payloads and header fields.
 func TestQuickEnvelopeRoundTrip(t *testing.T) {
-	f := func(kind uint8, from, to uint32, corr uint64, payload []byte) bool {
-		e := Envelope{Kind: Kind(kind), From: from, To: to, Corr: corr, Payload: payload}
+	f := func(kind uint8, from, to uint32, corr, trace uint64, payload []byte) bool {
+		e := Envelope{Kind: Kind(kind), From: from, To: to, Corr: corr, Trace: trace, Payload: payload}
 		got, rest, err := DecodeEnvelope(EncodeEnvelope(nil, e))
 		if err != nil || len(rest) != 0 {
 			return false
 		}
 		return got.Kind == e.Kind && got.From == e.From && got.To == e.To &&
-			got.Corr == e.Corr && string(got.Payload) == string(e.Payload)
+			got.Corr == e.Corr && got.Trace == e.Trace && string(got.Payload) == string(e.Payload)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultTraceCap is the span ring capacity of a registry made with
+// New. Old spans are overwritten once the ring fills; tracing is a
+// window onto recent mediation, not an archive.
+const DefaultTraceCap = 4096
+
+// SpanRecord is one completed span: a named stretch of work on one
+// node, tagged with the invocation's trace id. An invocation that
+// crosses nodes leaves one "invoke" span on the invoker and one
+// "serve" span on the host, sharing a Trace — joining them is how a
+// trace is read.
+type SpanRecord struct {
+	// Trace is the invocation id, carried across nodes in the message
+	// envelope. Zero means untraced.
+	Trace uint64 `json:"trace"`
+	// Name says what the span measures ("invoke", "serve", ...).
+	Name string `json:"name"`
+	// Node is the node that did the work.
+	Node uint32 `json:"node"`
+	// Start is when the span opened.
+	Start time.Time `json:"start"`
+	// Duration is how long it ran.
+	Duration time.Duration `json:"duration_nanos"`
+	// Status is the outcome ("ok", "timeout", ...).
+	Status string `json:"status"`
+}
+
+// Tracer keeps completed spans in a preallocated ring under a mutex.
+// Recording is one lock plus a struct copy — no allocation — and the
+// ring bounds memory regardless of load.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []SpanRecord
+	next  int
+	total uint64
+}
+
+func newTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{ring: make([]SpanRecord, capacity)}
+}
+
+func (t *Tracer) record(rec SpanRecord) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % len(t.ring)
+	t.total++
+	t.mu.Unlock()
+}
+
+// spans returns the retained spans, oldest first.
+func (t *Tracer) spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.ring)
+	if t.total < uint64(n) {
+		n = int(t.total)
+	}
+	out := make([]SpanRecord, 0, n)
+	start := 0
+	if t.total >= uint64(len(t.ring)) {
+		start = t.next
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Span is an open span. It is a value, not a pointer: StartSpan on a
+// nil registry returns the zero Span, whose End is a no-op — so the
+// disabled path allocates nothing and never reads the clock.
+type Span struct {
+	tr    *Tracer
+	trace uint64
+	name  string
+	node  uint32
+	start time.Time
+}
+
+// StartSpan opens a span for the given trace id on the given node.
+// Safe on a nil registry (returns an inert zero Span).
+func (r *Registry) StartSpan(name string, trace uint64, node uint32) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{tr: r.tracer, trace: trace, name: name, node: node, start: time.Now()}
+}
+
+// End closes the span with the given outcome, recording it in the
+// tracer ring. Safe on the zero Span (no-op).
+func (s Span) End(status string) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.record(SpanRecord{
+		Trace:    s.trace,
+		Name:     s.name,
+		Node:     s.node,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+		Status:   status,
+	})
+}
+
+// NextTraceID mints a fresh trace id for an invocation originating on
+// the given node. The node number occupies the high bits so ids from
+// different nodes (different processes, over TCP) do not collide.
+// Never returns zero until 2^40 ids have been minted. Returns 0
+// (untraced) on a nil registry.
+func (r *Registry) NextTraceID(node uint32) uint64 {
+	if r == nil {
+		return 0
+	}
+	seq := r.traceSeq.Add(1) & (1<<40 - 1)
+	return uint64(node&0xFFFFFF)<<40 | seq
+}
+
+// Spans returns the retained spans, oldest first. Safe on a nil
+// registry (nil slice).
+func (r *Registry) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	return r.tracer.spans()
+}
+
+// SpansFor returns the retained spans for one trace id, oldest first.
+func (r *Registry) SpansFor(trace uint64) []SpanRecord {
+	var out []SpanRecord
+	for _, s := range r.Spans() {
+		if s.Trace == trace {
+			out = append(out, s)
+		}
+	}
+	return out
+}

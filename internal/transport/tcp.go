@@ -7,8 +7,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"eden/internal/msg"
+	"eden/internal/telemetry"
 )
 
 // TCP is a Transport that carries frames over TCP connections, one
@@ -31,6 +33,8 @@ type TCP struct {
 
 	hmu     sync.RWMutex
 	handler Handler
+
+	tel atomic.Pointer[transportTel]
 
 	wg sync.WaitGroup
 }
@@ -55,9 +59,17 @@ func NewTCP(node uint32, addr string) (*TCP, error) {
 		conns:    make(map[uint32]net.Conn),
 		accepted: make(map[net.Conn]struct{}),
 	}
+	t.tel.Store(&transportTel{})
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
+}
+
+// SetTelemetry routes the transport's traffic counters (send/recv
+// frames and bytes, send errors, redials) into reg. Safe to call while
+// traffic flows; nil disables.
+func (t *TCP) SetTelemetry(reg *telemetry.Registry) {
+	t.tel.Store(newTransportTel(reg))
 }
 
 // Addr returns the transport's listening address.
@@ -114,7 +126,10 @@ func (t *TCP) Send(env msg.Envelope) error {
 func (t *TCP) sendOne(env msg.Envelope) error {
 	conn, err := t.conn(env.To)
 	if err != nil {
-		return err
+		// conn reports the cause (closed, no route, dial failure); name
+		// the peer here so every send error identifies which node failed.
+		t.tel.Load().sendErrors.Inc()
+		return fmt.Errorf("transport: send to node %d: %w", env.To, err)
 	}
 	frame := msg.EncodeEnvelope(nil, env)
 	buf := make([]byte, 4, 4+len(frame))
@@ -128,8 +143,12 @@ func (t *TCP) sendOne(env msg.Envelope) error {
 		}
 		t.mu.Unlock()
 		conn.Close()
-		return fmt.Errorf("transport: send to %d: %w", env.To, err)
+		t.tel.Load().sendErrors.Inc()
+		return fmt.Errorf("transport: send to node %d: %w", env.To, err)
 	}
+	tel := t.tel.Load()
+	tel.sendFrames.Inc()
+	tel.sendBytes.Add(int64(len(env.Payload)))
 	return nil
 }
 
@@ -149,12 +168,15 @@ func (t *TCP) conn(node uint32) (net.Conn, error) {
 	addr, ok := t.peers[node]
 	t.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoRoute, node)
+		// Bare sentinel: sendOne wraps with the node number, so adding
+		// it here too would print it twice.
+		return nil, ErrNoRoute
 	}
 	raw, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial %d@%s: %w", node, addr, err)
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
+	t.tel.Load().reconnects.Inc()
 	c := &lockedConn{Conn: raw}
 	t.mu.Lock()
 	if t.closed {
@@ -232,6 +254,9 @@ func (t *TCP) readLoop(conn net.Conn) {
 		if err != nil || len(rest) != 0 {
 			return // corrupt peer
 		}
+		tel := t.tel.Load()
+		tel.recvFrames.Inc()
+		tel.recvBytes.Add(int64(len(env.Payload)))
 		t.dispatch(env)
 	}
 }

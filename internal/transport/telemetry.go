@@ -1,0 +1,49 @@
+package transport
+
+import (
+	"eden/internal/telemetry"
+)
+
+// Metric names reported by instrumented transports (Mesh and TCP).
+const (
+	metricSendFrames = "transport.send.frames"
+	metricSendBytes  = "transport.send.bytes"
+	metricRecvFrames = "transport.recv.frames"
+	metricRecvBytes  = "transport.recv.bytes"
+	metricDropped    = "transport.dropped"
+	metricQueueDepth = "transport.queue.depth"
+	metricReconnects = "transport.reconnects"
+	metricSendErrors = "transport.send.errors"
+)
+
+// transportTel holds a transport's pre-resolved instruments. The zero
+// value (all nil fields) is the disabled state: every instrument call
+// is a nil-receiver no-op, so data paths use it unconditionally.
+// Transports hold it behind an atomic pointer so SetTelemetry is safe
+// after traffic has started.
+type transportTel struct {
+	sendFrames *telemetry.Counter
+	sendBytes  *telemetry.Counter
+	recvFrames *telemetry.Counter
+	recvBytes  *telemetry.Counter
+	dropped    *telemetry.Counter
+	reconnects *telemetry.Counter
+	sendErrors *telemetry.Counter
+	queueDepth *telemetry.Gauge
+}
+
+func newTransportTel(reg *telemetry.Registry) *transportTel {
+	if reg == nil {
+		return &transportTel{}
+	}
+	return &transportTel{
+		sendFrames: reg.Counter(metricSendFrames),
+		sendBytes:  reg.Counter(metricSendBytes),
+		recvFrames: reg.Counter(metricRecvFrames),
+		recvBytes:  reg.Counter(metricRecvBytes),
+		dropped:    reg.Counter(metricDropped),
+		reconnects: reg.Counter(metricReconnects),
+		sendErrors: reg.Counter(metricSendErrors),
+		queueDepth: reg.Gauge(metricQueueDepth),
+	}
+}

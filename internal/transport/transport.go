@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"eden/internal/msg"
+	"eden/internal/telemetry"
 )
 
 // Handler receives inbound frames. Handlers run on transport
@@ -78,16 +79,26 @@ type Mesh struct {
 	bytes    atomic.Int64
 	dropped  atomic.Int64
 	inflight sync.WaitGroup
+	tel      atomic.Pointer[transportTel]
 }
 
 // NewMesh returns an empty mesh with zero latency and no loss,
 // deterministic under the given seed.
 func NewMesh(seed int64) *Mesh {
-	return &Mesh{
+	m := &Mesh{
 		eps:   make(map[uint32]*Endpoint),
 		parts: make(map[[2]uint32]bool),
 		rng:   rand.New(rand.NewSource(seed)),
 	}
+	m.tel.Store(&transportTel{})
+	return m
+}
+
+// SetTelemetry routes the mesh's traffic counters (send/recv frames
+// and bytes, drops, inbox queue depth) into reg. Safe to call while
+// traffic flows; nil disables.
+func (m *Mesh) SetTelemetry(reg *telemetry.Registry) {
+	m.tel.Store(newTransportTel(reg))
 }
 
 // SetLatency installs a per-link latency function. A nil function
@@ -212,6 +223,7 @@ func (m *Mesh) route(from uint32, env msg.Envelope) {
 	if m.parts[linkKey(from, env.To)] || (m.loss > 0 && m.rng.Float64() < m.loss) {
 		m.mu.Unlock()
 		m.dropped.Add(1)
+		m.tel.Load().dropped.Inc()
 		return
 	}
 	ep, ok := m.eps[env.To]
@@ -222,10 +234,14 @@ func (m *Mesh) route(from uint32, env msg.Envelope) {
 	m.mu.Unlock()
 	if !ok {
 		m.dropped.Add(1)
+		m.tel.Load().dropped.Inc()
 		return
 	}
 	m.frames.Add(1)
 	m.bytes.Add(int64(len(env.Payload)))
+	tel := m.tel.Load()
+	tel.sendFrames.Inc()
+	tel.sendBytes.Add(int64(len(env.Payload)))
 	if delay <= 0 {
 		ep.deliver(env)
 		return
@@ -305,6 +321,7 @@ func (e *Endpoint) Send(env msg.Envelope) error {
 func (e *Endpoint) deliver(env msg.Envelope) {
 	select {
 	case e.inbox <- env:
+		e.mesh.tel.Load().queueDepth.Add(1)
 	case <-e.done:
 	}
 }
@@ -314,6 +331,10 @@ func (e *Endpoint) pump() {
 	for {
 		select {
 		case env := <-e.inbox:
+			tel := e.mesh.tel.Load()
+			tel.queueDepth.Add(-1)
+			tel.recvFrames.Inc()
+			tel.recvBytes.Add(int64(len(env.Payload)))
 			e.hmu.RLock()
 			h := e.handler
 			e.hmu.RUnlock()

@@ -13,6 +13,7 @@ import (
 	"eden/internal/naming"
 	"eden/internal/policy"
 	"eden/internal/store"
+	"eden/internal/telemetry"
 	"eden/internal/transport"
 )
 
@@ -27,15 +28,21 @@ type SystemConfig struct {
 	// LocateTimeout bounds location broadcasts; zero uses the locator
 	// default (2s).
 	LocateTimeout time.Duration
+	// Telemetry enables metrics and invocation tracing: each node gets
+	// its own registry (read via Node.Telemetry) and the network gets
+	// one for traffic counters (System.NetworkTelemetry). Off by
+	// default; the disabled path costs nothing on invocations.
+	Telemetry bool
 }
 
 // System is an assembly of Eden nodes connected by an in-process
 // network, sharing one type registry (Eden nodes are homogeneous).
 // For multi-process systems over TCP, see cmd/edennode.
 type System struct {
-	cfg  SystemConfig
-	mesh *transport.Mesh
-	reg  *kernel.Registry
+	cfg    SystemConfig
+	mesh   *transport.Mesh
+	reg    *kernel.Registry
+	netTel *telemetry.Registry // nil unless cfg.Telemetry
 
 	mu     sync.Mutex
 	nodes  map[uint32]*Node
@@ -55,6 +62,10 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		mesh:  transport.NewMesh(seed),
 		reg:   kernel.NewRegistry(),
 		nodes: make(map[uint32]*Node),
+	}
+	if cfg.Telemetry {
+		s.netTel = telemetry.New()
+		s.mesh.SetTelemetry(s.netTel)
 	}
 	if err := naming.RegisterType(s.reg); err != nil {
 		return nil, err
@@ -126,6 +137,11 @@ func (s *System) AddNodeWithConfig(name string, nc NodeConfig) (*Node, error) {
 		st = store.NewMemory()
 	}
 	n := &Node{sys: s, num: num, name: name, nc: nc, st: st}
+	if s.cfg.Telemetry {
+		// One registry per node, surviving Crash/Restart so counters
+		// span the node's whole history.
+		n.tel = telemetry.New()
+	}
 	if err := s.boot(n); err != nil {
 		return nil, err
 	}
@@ -145,6 +161,7 @@ func (s *System) boot(n *Node) error {
 	cfg.VirtualProcessors = n.nc.VirtualProcessors
 	cfg.MemoryBytes = n.nc.MemoryBytes
 	cfg.EvictOnPressure = n.nc.EvictOnPressure
+	cfg.Telemetry = n.tel
 	if s.cfg.DefaultTimeout > 0 {
 		cfg.DefaultTimeout = s.cfg.DefaultTimeout
 	}
@@ -196,6 +213,11 @@ func (s *System) SetLatency(f func(from, to uint32) time.Duration) { s.mesh.SetL
 // in-process network.
 func (s *System) NetworkStats() transport.Stats { return s.mesh.Stats() }
 
+// NetworkTelemetry returns the network's telemetry registry (frame,
+// byte, drop and queue-depth instruments), or nil when the system was
+// built without SystemConfig.Telemetry.
+func (s *System) NetworkTelemetry() *telemetry.Registry { return s.netTel }
+
 // ResetNetworkStats zeroes the network counters (between experiment
 // phases).
 func (s *System) ResetNetworkStats() { s.mesh.ResetStats() }
@@ -233,6 +255,7 @@ type Node struct {
 	name string
 	nc   NodeConfig
 	st   store.Store
+	tel  *telemetry.Registry // nil unless SystemConfig.Telemetry
 
 	mu   sync.Mutex
 	k    *kernel.Kernel
@@ -252,6 +275,12 @@ func (n *Node) Kernel() *kernel.Kernel {
 	defer n.mu.Unlock()
 	return n.k
 }
+
+// Telemetry returns the node's telemetry registry — kernel, store and
+// EFS metrics plus the invocation trace ring — or nil when the system
+// was built without SystemConfig.Telemetry. The registry survives
+// Crash/Restart, so counters span the node's whole history.
+func (n *Node) Telemetry() *telemetry.Registry { return n.tel }
 
 // Down reports whether the node is currently crashed.
 func (n *Node) Down() bool {
