@@ -2,13 +2,52 @@ package eden
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
 )
+
+// chaosLong reports whether the extended nightly profile is requested:
+// more steps and repeated, longer partition phases. The default (short)
+// profile keeps the PR-gate runtime in seconds.
+func chaosLong() bool { return os.Getenv("EDEN_CHAOS_LONG") != "" }
+
+// dumpChaosAudit writes the system's telemetry snapshot to the
+// directory named by EDEN_CHAOS_AUDIT_DIR, so a failed nightly run
+// leaves its counters and spans behind as a CI artifact. No-op when
+// the variable is unset.
+func dumpChaosAudit(t *testing.T, seed int64, sys *System) {
+	dir := os.Getenv("EDEN_CHAOS_AUDIT_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("chaos audit: %v", err)
+		return
+	}
+	audit := map[string]any{
+		"seed":    seed,
+		"network": sys.NetworkTelemetry().Snapshot(),
+		"stats":   sys.NetworkStats(),
+	}
+	data, err := json.MarshalIndent(audit, "", "  ")
+	if err != nil {
+		t.Logf("chaos audit: %v", err)
+		return
+	}
+	path := filepath.Join(dir, fmt.Sprintf("chaos-audit-seed%d.json", seed))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Logf("chaos audit: %v", err)
+		return
+	}
+	t.Logf("chaos audit written to %s", path)
+}
 
 // TestChaos runs a randomized workload against a 4-node system —
 // creates, invocations from random nodes, checkpoints, crashes,
@@ -37,6 +76,11 @@ func runChaos(t *testing.T, seed int64) {
 		t.Fatal(err)
 	}
 	defer sys.Close()
+	defer func() {
+		if t.Failed() {
+			dumpChaosAudit(t, seed, sys)
+		}
+	}()
 
 	const nNodes = 4
 	nodes := make([]*Node, nNodes)
@@ -134,7 +178,10 @@ func runChaos(t *testing.T, seed int64) {
 		return nil, nil
 	}
 
-	const steps = 1000
+	steps := 1000
+	if chaosLong() {
+		steps = 8000
+	}
 	idx := func(o *tracked) int {
 		for i := range objs {
 			if objs[i] == o {
@@ -249,19 +296,37 @@ func runChaos(t *testing.T, seed int64) {
 	// Partition phase: sever one link and invoke across it, forcing the
 	// network to drop frames, then heal. The locate broadcast to the
 	// severed node is lost, so the invocation fails with a defined
-	// error and the drop counters move.
+	// error and the drop counters move. The nightly profile repeats the
+	// cycle across several links with a workload running during each
+	// partition, so healing is exercised under traffic rather than in
+	// quiet.
+	partitionCycles := 1
+	invokesPerCycle := 1
+	if chaosLong() {
+		partitionCycles = 6
+		invokesPerCycle = 25
+	}
 	preDrops := sys.NetworkStats().Dropped
 	lonely, err := nodes[1].CreateObject("chaos.counter")
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Partition(nodes[0], nodes[1])
-	if _, err := nodes[0].Invoke(lonely, "get", nil, nil, &InvokeOptions{Timeout: 500 * time.Millisecond}); err == nil {
-		t.Error("invoke across a partition unexpectedly succeeded")
-	} else if !errors.Is(err, ErrNoSuchObject) && !errors.Is(err, ErrTimeout) {
-		t.Errorf("invoke across a partition: undefined error: %v", err)
+	for cycle := 0; cycle < partitionCycles; cycle++ {
+		sys.Partition(nodes[0], nodes[1])
+		for i := 0; i < invokesPerCycle; i++ {
+			if _, err := nodes[0].Invoke(lonely, "get", nil, nil, &InvokeOptions{Timeout: 500 * time.Millisecond}); err == nil {
+				t.Error("invoke across a partition unexpectedly succeeded")
+			} else if !errors.Is(err, ErrNoSuchObject) && !errors.Is(err, ErrTimeout) {
+				t.Errorf("invoke across a partition: undefined error: %v", err)
+			}
+		}
+		sys.Heal(nodes[0], nodes[1])
+		// After healing, the link must carry invocations again before
+		// the next cycle severs it.
+		if _, err := nodes[0].Invoke(lonely, "get", nil, nil, &InvokeOptions{Timeout: 3 * time.Second}); err != nil {
+			t.Errorf("cycle %d: invoke after heal failed: %v", cycle, err)
+		}
 	}
-	sys.Heal(nodes[0], nodes[1])
 	if drops := sys.NetworkStats().Dropped; drops <= preDrops {
 		t.Errorf("partitioned invoke produced no drops (before %d, after %d)", preDrops, drops)
 	}

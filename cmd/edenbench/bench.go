@@ -4,17 +4,25 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"eden"
+	"eden/internal/kernel"
 	"eden/internal/segment"
+	"eden/internal/store"
+	"eden/internal/telemetry"
+	"eden/internal/transport"
 )
 
 // BenchReport is the machine-readable benchmark output, written as
 // BENCH_<rev>.json. The CI bench job compares it against the
 // checked-in bench_baseline.json and fails on throughput regressions.
 type BenchReport struct {
-	Rev     string        `json:"rev"`
+	Rev string `json:"rev"`
+	// Notes is free-form context for a committed report (what changed,
+	// what it was measured against); tooling ignores it.
+	Notes   string        `json:"notes,omitempty"`
 	Results []BenchResult `json:"results"`
 }
 
@@ -61,6 +69,12 @@ func runBenchJSON(rev, out, baseline string, tolerance float64) error {
 		return fmt.Errorf("remote invoke: %w", err)
 	}
 	report.Results = append(report.Results, remote)
+
+	conc, err := benchRemoteInvokeConcurrent(4000, 8)
+	if err != nil {
+		return fmt.Errorf("concurrent remote invoke: %w", err)
+	}
+	report.Results = append(report.Results, conc)
 
 	ckpt, err := benchCheckpoint(500)
 	if err != nil {
@@ -167,6 +181,75 @@ func benchRemoteInvoke(ops int) (BenchResult, error) {
 		}
 	}
 	return result("invoke.remote", ops, time.Since(start), caller.Telemetry(), "kernel.invoke.remote.latency")
+}
+
+// benchRemoteInvokeConcurrent measures N simultaneous invokers
+// driving cross-node invocations between two kernels wired over real
+// TCP loopback — the workload the transport's per-peer send queues and
+// writev coalescing exist for. Reported ops/sec is aggregate across
+// all invokers.
+func benchRemoteInvokeConcurrent(ops, invokers int) (BenchResult, error) {
+	reg := kernel.NewRegistry()
+	if err := reg.Register(benchType()); err != nil {
+		return BenchResult{}, err
+	}
+	trHost, err := transport.NewTCP(1, "127.0.0.1:0")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	trCall, err := transport.NewTCP(2, "127.0.0.1:0")
+	if err != nil {
+		trHost.Close()
+		return BenchResult{}, err
+	}
+	trHost.AddPeer(2, trCall.Addr())
+	trCall.AddPeer(1, trHost.Addr())
+	tel := telemetry.New()
+	trCall.SetTelemetry(tel)
+	cfgHost := kernel.DefaultConfig(1, "bench-host")
+	cfgCall := kernel.DefaultConfig(2, "bench-caller")
+	cfgCall.Telemetry = tel
+	kh := kernel.New(cfgHost, trHost, reg, store.NewMemory())
+	defer kh.Close()
+	kc := kernel.New(cfgCall, trCall, reg, store.NewMemory())
+	defer kc.Close()
+
+	cap, err := kh.Create("benchmark", nil)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	payload := []byte("ping")
+	opts := &kernel.InvokeOptions{Timeout: 10 * time.Second}
+	// Warm the location cache and the TCP connections outside the
+	// timed region.
+	if _, err := kc.Invoke(cap, "ping", payload, nil, opts); err != nil {
+		return BenchResult{}, err
+	}
+
+	perInvoker := ops / invokers
+	errs := make(chan error, invokers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < invokers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perInvoker; i++ {
+				if _, err := kc.Invoke(cap, "ping", payload, nil, opts); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return BenchResult{}, fmt.Errorf("invoker: %w", err)
+	default:
+	}
+	return result("invoke.remote.concurrent", perInvoker*invokers, elapsed, tel, "kernel.invoke.remote.latency")
 }
 
 func benchCheckpoint(ops int) (BenchResult, error) {

@@ -52,12 +52,21 @@ func main() {
 	storeDir := flag.String("store", "", "directory for file-backed long-term storage (default: in-memory)")
 	name := flag.String("name", "", "node label (default: node-<num>)")
 	metrics := flag.String("metrics", "", "serve telemetry over HTTP on this address (e.g. 127.0.0.1:9100); empty disables")
+	sendq := flag.Int("sendq", 0, "per-peer send queue depth in frames (0 = transport default)")
+	sendTimeout := flag.Duration("send-timeout", 0, "how long a unicast send blocks on a full queue before dropping (0 = transport default)")
+	dialTimeout := flag.Duration("dial-timeout", 0, "bound on one TCP dial attempt to a peer (0 = transport default)")
+	redialBackoff := flag.Duration("redial-backoff", 0, "initial pause after a failed dial, doubling with jitter per failure (0 = transport default)")
 	flag.Parse()
 
 	if *name == "" {
 		*name = fmt.Sprintf("node-%d", *node)
 	}
-	tr, err := transport.NewTCP(uint32(*node), *listen)
+	tr, err := transport.NewTCPWithConfig(uint32(*node), *listen, transport.Config{
+		QueueDepth:     *sendq,
+		EnqueueTimeout: *sendTimeout,
+		DialTimeout:    *dialTimeout,
+		RedialBackoff:  *redialBackoff,
+	})
 	if err != nil {
 		fatal("listen: %v", err)
 	}

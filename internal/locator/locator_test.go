@@ -365,3 +365,48 @@ func TestRecoverFindsOwnBackup(t *testing.T) {
 		t.Errorf("Recover = %+v, want local home claim", loc)
 	}
 }
+
+// TestHandleReplyWaiterBufferFull floods a waiter's reply buffer and
+// verifies that further replies neither block the transport goroutine
+// delivering them nor get wasted: the hint is cached even though the
+// waiter can't take the reply.
+func TestHandleReplyWaiterBufferFull(t *testing.T) {
+	l := New(1, func(env msg.Envelope) error { return nil },
+		func(id edenid.ID, recover bool) (bool, bool) { return false, false })
+	id := gen.Next()
+
+	// Install a lookup waiter by hand and fill its buffer to the brim,
+	// as a storm of replica answers would.
+	w := &waiter{ch: make(chan msg.LocateRep, 8), object: id, wantHome: true}
+	l.mu.Lock()
+	l.waiters[7] = w
+	l.mu.Unlock()
+	for i := 0; i < cap(w.ch); i++ {
+		w.ch <- msg.LocateRep{Object: id, Node: uint32(10 + i), Replica: true}
+	}
+
+	// One more reply than the buffer holds. HandleReply runs on the
+	// transport's delivery goroutine, so it must return promptly even
+	// though nobody is draining the waiter.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rep := msg.LocateRep{Object: id, Node: 42, Replica: false}
+		l.HandleReply(msg.Envelope{Kind: msg.KindLocateRep, Corr: 7, Payload: rep.Encode(nil)})
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("HandleReply blocked on a full waiter buffer")
+	}
+
+	// The overflowed reply's hint must still have been cached.
+	loc, ok := l.cached(id, true)
+	if !ok || loc.Node != 42 {
+		t.Fatalf("overflowed reply not cached: loc=%+v ok=%v", loc, ok)
+	}
+	// And the waiter's buffered replies are intact.
+	if len(w.ch) != cap(w.ch) {
+		t.Errorf("waiter buffer disturbed: len=%d cap=%d", len(w.ch), cap(w.ch))
+	}
+}

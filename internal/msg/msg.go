@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"eden/internal/capability"
 	"eden/internal/edenid"
@@ -105,6 +106,42 @@ func EncodeEnvelope(dst []byte, e Envelope) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, e.Trace)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(e.Payload)))
 	return append(dst, e.Payload...)
+}
+
+// Buffer is a pooled encoding buffer for wire frames. Transports that
+// encode an envelope per send borrow one with GetBuffer, append via
+// EncodeEnvelope (plus any transport framing), and return it with Free
+// once the bytes are on the wire — keeping the per-frame allocation off
+// the send hot path. The struct wraps the slice so the pool traffics in
+// a stable pointer rather than re-boxing a slice header on every Put.
+type Buffer struct {
+	// B is the buffer's contents; append to it freely.
+	B []byte
+}
+
+// maxPooledBuffer caps the backing arrays kept in the pool: one huge
+// Ship frame must not pin megabytes inside the pool forever.
+const maxPooledBuffer = 1 << 16
+
+var bufferPool = sync.Pool{New: func() any { return new(Buffer) }}
+
+// GetBuffer returns an empty pooled buffer.
+func GetBuffer() *Buffer {
+	b := bufferPool.Get().(*Buffer)
+	b.B = b.B[:0]
+	return b
+}
+
+// Free returns the buffer to the pool. The caller must not touch b (or
+// its bytes) afterwards.
+func (b *Buffer) Free() {
+	if b == nil {
+		return
+	}
+	if cap(b.B) > maxPooledBuffer {
+		b.B = nil
+	}
+	bufferPool.Put(b)
 }
 
 // DecodeEnvelope parses one envelope from the front of src, returning

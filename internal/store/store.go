@@ -42,6 +42,15 @@ var (
 	ErrStale = errors.New("store: stale checkpoint version")
 )
 
+// notFound is an ErrNotFound carrying the missed ID. The message is
+// formatted only if the error is actually printed: the kernel probes
+// the store on every invocation's host check and discards the error,
+// so a miss must not pay for fmt on the invoke hot path.
+type notFound struct{ id edenid.ID }
+
+func (e *notFound) Error() string { return fmt.Sprintf("%v: %v", ErrNotFound, e.id) }
+func (e *notFound) Unwrap() error { return ErrNotFound }
+
 // Record is one checkpoint: an object's identity, its type, and its
 // encoded representation at some version.
 //
@@ -127,7 +136,7 @@ func (m *Memory) Get(id edenid.ID) (Record, error) {
 	}
 	rec, ok := m.recs[id]
 	if !ok {
-		return Record{}, fmt.Errorf("%w: %v", ErrNotFound, id)
+		return Record{}, &notFound{id: id}
 	}
 	rec.Rep = append([]byte(nil), rec.Rep...)
 	return rec, nil
@@ -286,7 +295,7 @@ func (f *File) getLocked(id edenid.ID) (Record, error) {
 	b, err := os.ReadFile(f.path(id))
 	if err != nil {
 		if os.IsNotExist(err) {
-			return Record{}, fmt.Errorf("%w: %v", ErrNotFound, id)
+			return Record{}, &notFound{id: id}
 		}
 		return Record{}, fmt.Errorf("store: %w", err)
 	}

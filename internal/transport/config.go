@@ -1,0 +1,71 @@
+package transport
+
+import "time"
+
+// Default pipeline tuning. Chosen so an untuned transport behaves like
+// the paper's prototype network: deep enough queues that bursts of
+// invocation traffic coalesce, bounded enough that a dead peer cannot
+// absorb unbounded memory or stall a sender forever.
+const (
+	// DefaultQueueDepth is the per-peer send-queue (TCP) / inbox (Mesh)
+	// depth in frames.
+	DefaultQueueDepth = 256
+	// DefaultEnqueueTimeout bounds how long a unicast send blocks on a
+	// full queue before the frame is dropped.
+	DefaultEnqueueTimeout = time.Second
+	// DefaultDialTimeout bounds one TCP dial attempt.
+	DefaultDialTimeout = 2 * time.Second
+	// DefaultRedialBackoff is the pause after a first failed dial; it
+	// doubles per consecutive failure up to DefaultRedialBackoffMax.
+	DefaultRedialBackoff = 50 * time.Millisecond
+	// DefaultRedialBackoffMax caps the redial backoff.
+	DefaultRedialBackoffMax = 2 * time.Second
+)
+
+// Config tunes a transport's send pipeline. The zero value means "all
+// defaults", so existing constructors keep their behavior.
+//
+// Backpressure policy: a unicast Send whose peer queue is full blocks
+// for up to EnqueueTimeout, then drops the frame with an error and a
+// telemetry counter ("block with deadline"). Broadcast fan-out — the
+// location protocol's probe traffic — never blocks: a full queue drops
+// that peer's copy immediately, counted but errorless ("drop with
+// counter"), matching the datagram semantics broadcasts already have.
+type Config struct {
+	// QueueDepth bounds each peer's send queue (TCP) or each
+	// endpoint's inbox (Mesh), in frames. 0 = DefaultQueueDepth.
+	QueueDepth int
+	// EnqueueTimeout bounds how long a unicast send blocks on a full
+	// queue before dropping. 0 = DefaultEnqueueTimeout.
+	EnqueueTimeout time.Duration
+	// DialTimeout bounds one TCP dial attempt, so a black-holed peer
+	// address cannot stall the writer indefinitely.
+	// 0 = DefaultDialTimeout.
+	DialTimeout time.Duration
+	// RedialBackoff is the initial pause after a failed dial; each
+	// consecutive failure doubles it (with jitter) up to
+	// RedialBackoffMax. 0 = DefaultRedialBackoff.
+	RedialBackoff time.Duration
+	// RedialBackoffMax caps the backoff. 0 = DefaultRedialBackoffMax.
+	RedialBackoffMax time.Duration
+}
+
+// withDefaults fills zero fields with the package defaults.
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.EnqueueTimeout <= 0 {
+		c.EnqueueTimeout = DefaultEnqueueTimeout
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = DefaultDialTimeout
+	}
+	if c.RedialBackoff <= 0 {
+		c.RedialBackoff = DefaultRedialBackoff
+	}
+	if c.RedialBackoffMax <= 0 {
+		c.RedialBackoffMax = DefaultRedialBackoffMax
+	}
+	return c
+}

@@ -3,11 +3,15 @@ package transport
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"eden/internal/msg"
 	"eden/internal/telemetry"
@@ -19,15 +23,26 @@ import (
 // address and is told its peers' addresses (cmd/edennode wires this
 // up).
 //
+// Sending is pipelined: Send encodes the frame into a pooled buffer
+// and enqueues it on the peer's bounded queue; a per-peer writer
+// goroutine drains the queue and flushes every pending frame in one
+// net.Buffers writev, so N concurrent invokers cost ~one syscall per
+// flush instead of one per frame. The writer owns the outbound
+// connection outright — no write lock exists — and dials with a
+// bounded timeout plus jittered exponential backoff, so a dead peer
+// neither stalls senders nor triggers dial storms. See Config for the
+// queue-depth and backpressure knobs.
+//
 // Framing: each frame on a connection is a 4-byte big-endian length
 // followed by that many bytes of msg.EncodeEnvelope output.
 type TCP struct {
 	node uint32
+	cfg  Config
 	ln   net.Listener
+	done chan struct{}
 
 	mu       sync.Mutex
-	peers    map[uint32]string   // node -> address
-	conns    map[uint32]net.Conn // established outbound connections
+	peers    map[uint32]*tcpPeer
 	accepted map[net.Conn]struct{}
 	closed   bool
 
@@ -45,18 +60,57 @@ var _ Transport = (*TCP)(nil)
 // peer announcing more is treated as corrupt and disconnected.
 const maxFrame = 64 << 20
 
-// NewTCP starts a TCP transport for the given node, listening on addr
-// (e.g. "127.0.0.1:0"). The chosen address is available via Addr.
+// maxBatchFrames bounds one writev flush, so a deep queue cannot grow
+// the iovec without bound; the remainder goes in the next flush.
+const maxBatchFrames = 128
+
+// ErrQueueFull reports a unicast frame dropped because the peer's send
+// queue stayed full past the enqueue deadline.
+var ErrQueueFull = errors.New("transport: send queue full")
+
+// tcpPeer is one registered peer: its address, its bounded send queue,
+// and the outbound connection its writer goroutine owns. addr, conn
+// and the backoff fields are guarded by the transport's mu; the queue
+// is owned by the channel.
+type tcpPeer struct {
+	node uint32
+	addr string
+	q    chan outFrame
+
+	conn      net.Conn      // established outbound connection, nil when down
+	backoff   time.Duration // current redial backoff, 0 after a success
+	downUntil time.Time     // no dial attempts before this instant
+}
+
+// outFrame is one encoded frame in flight through a send queue. The
+// buffer holds the 4-byte length prefix plus the envelope; payload
+// carries the envelope's payload size for byte accounting after the
+// envelope itself is no longer in hand.
+type outFrame struct {
+	buf     *msg.Buffer
+	payload int
+}
+
+// NewTCP starts a TCP transport for the given node with default
+// tuning, listening on addr (e.g. "127.0.0.1:0"). The chosen address
+// is available via Addr.
 func NewTCP(node uint32, addr string) (*TCP, error) {
+	return NewTCPWithConfig(node, addr, Config{})
+}
+
+// NewTCPWithConfig starts a TCP transport with explicit pipeline
+// tuning; zero Config fields take the package defaults.
+func NewTCPWithConfig(node uint32, addr string, cfg Config) (*TCP, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
 	t := &TCP{
 		node:     node,
+		cfg:      cfg.withDefaults(),
 		ln:       ln,
-		peers:    make(map[uint32]string),
-		conns:    make(map[uint32]net.Conn),
+		done:     make(chan struct{}),
+		peers:    make(map[uint32]*tcpPeer),
 		accepted: make(map[net.Conn]struct{}),
 	}
 	t.tel.Store(&transportTel{})
@@ -66,8 +120,9 @@ func NewTCP(node uint32, addr string) (*TCP, error) {
 }
 
 // SetTelemetry routes the transport's traffic counters (send/recv
-// frames and bytes, send errors, redials) into reg. Safe to call while
-// traffic flows; nil disables.
+// frames and bytes, batch sizes, flush latency, queue depth and drops,
+// send errors, redials) into reg. Safe to call while traffic flows;
+// nil disables.
 func (t *TCP) SetTelemetry(reg *telemetry.Registry) {
 	t.tel.Store(newTransportTel(reg))
 }
@@ -85,11 +140,23 @@ func (t *TCP) SetHandler(h Handler) {
 	t.hmu.Unlock()
 }
 
-// AddPeer registers the address of a peer node.
+// AddPeer registers the address of a peer node and starts its writer.
+// Re-adding a known peer updates the address (picked up on the next
+// dial).
 func (t *TCP) AddPeer(node uint32, addr string) {
 	t.mu.Lock()
-	t.peers[node] = addr
-	t.mu.Unlock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	if p, ok := t.peers[node]; ok {
+		p.addr = addr
+		return
+	}
+	p := &tcpPeer{node: node, addr: addr, q: make(chan outFrame, t.cfg.QueueDepth)}
+	t.peers[node] = p
+	t.wg.Add(1)
+	go t.writeLoop(p)
 }
 
 // Peers lists the registered peer node numbers.
@@ -103,16 +170,18 @@ func (t *TCP) Peers() []uint32 {
 	return out
 }
 
-// Send transmits one frame, dialing the peer if necessary. Broadcast
-// iterates over all registered peers; per-peer failures are ignored
-// (datagram semantics), matching the Mesh transport.
+// Send queues one frame for transmission. Unicast sends block for up
+// to the configured enqueue timeout when the peer's queue is full,
+// then fail with ErrQueueFull; broadcast copies are dropped instantly
+// on a full queue (both drops are counted in telemetry). A nil return
+// means queued, not delivered — datagram semantics, like the Mesh.
 func (t *TCP) Send(env msg.Envelope) error {
 	env.From = t.node
 	if env.To == msg.Broadcast {
-		for _, peer := range t.Peers() {
+		for _, p := range t.peerList() {
 			unicast := env
-			unicast.To = peer
-			_ = t.sendOne(unicast) // best effort per peer
+			unicast.To = p.node
+			_ = t.enqueue(p, unicast, false) // best effort per peer
 		}
 		return nil
 	}
@@ -120,92 +189,217 @@ func (t *TCP) Send(env msg.Envelope) error {
 		t.dispatch(env)
 		return nil
 	}
-	return t.sendOne(env)
-}
-
-func (t *TCP) sendOne(env msg.Envelope) error {
-	conn, err := t.conn(env.To)
+	p, err := t.peer(env.To)
 	if err != nil {
-		// conn reports the cause (closed, no route, dial failure); name
-		// the peer here so every send error identifies which node failed.
 		t.tel.Load().sendErrors.Inc()
 		return fmt.Errorf("transport: send to node %d: %w", env.To, err)
 	}
-	frame := msg.EncodeEnvelope(nil, env)
-	buf := make([]byte, 4, 4+len(frame))
-	binary.BigEndian.PutUint32(buf, uint32(len(frame)))
-	buf = append(buf, frame...)
-	if _, err := conn.Write(buf); err != nil {
-		// Drop the dead connection; a retry will redial.
-		t.mu.Lock()
-		if t.conns[env.To] == conn {
-			delete(t.conns, env.To)
-		}
-		t.mu.Unlock()
-		conn.Close()
-		t.tel.Load().sendErrors.Inc()
-		return fmt.Errorf("transport: send to node %d: %w", env.To, err)
-	}
-	tel := t.tel.Load()
-	tel.sendFrames.Inc()
-	tel.sendBytes.Add(int64(len(env.Payload)))
-	return nil
+	return t.enqueue(p, env, true)
 }
 
-// conn returns an established connection to the peer, dialing if
-// needed. Writes to the returned connection are serialized by a
-// per-connection lock embedded via lockedConn.
-func (t *TCP) conn(node uint32) (net.Conn, error) {
+// peer resolves a registered peer, reporting closed/no-route.
+func (t *TCP) peer(node uint32) (*tcpPeer, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	p, ok := t.peers[node]
+	if !ok {
+		// Bare sentinel: Send wraps with the node number, so adding it
+		// here too would print it twice.
+		return nil, ErrNoRoute
+	}
+	return p, nil
+}
+
+// peerList snapshots the registered peers for broadcast fan-out.
+func (t *TCP) peerList() []*tcpPeer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*tcpPeer, 0, len(t.peers))
+	for _, p := range t.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+// encodeFrame renders env (length prefix + envelope) into a pooled
+// buffer.
+func encodeFrame(env msg.Envelope) outFrame {
+	b := msg.GetBuffer()
+	b.B = append(b.B, 0, 0, 0, 0)
+	b.B = msg.EncodeEnvelope(b.B, env)
+	binary.BigEndian.PutUint32(b.B, uint32(len(b.B)-4))
+	return outFrame{buf: b, payload: len(env.Payload)}
+}
+
+// enqueue puts one frame on the peer's queue, applying the
+// backpressure policy: block with deadline for unicast, drop instantly
+// for broadcast copies.
+func (t *TCP) enqueue(p *tcpPeer, env msg.Envelope, block bool) error {
+	f := encodeFrame(env)
+	tel := t.tel.Load()
+	select {
+	case p.q <- f:
+		tel.queueDepth.Add(1)
+		return nil
+	default:
+	}
+	if !block {
+		f.buf.Free()
+		tel.queueDrops.Inc()
+		tel.dropped.Inc()
+		return nil
+	}
+	deadline := time.NewTimer(t.cfg.EnqueueTimeout)
+	defer deadline.Stop()
+	select {
+	case p.q <- f:
+		tel.queueDepth.Add(1)
+		return nil
+	case <-deadline.C:
+		f.buf.Free()
+		tel.queueDrops.Inc()
+		tel.dropped.Inc()
+		return fmt.Errorf("transport: send to node %d: %w", p.node, ErrQueueFull)
+	case <-t.done:
+		f.buf.Free()
+		return fmt.Errorf("transport: send to node %d: %w", p.node, ErrClosed)
+	}
+}
+
+// writeLoop is a peer's writer goroutine: it waits for the first
+// queued frame, drains whatever else is already pending, and flushes
+// the whole batch in one writev. Frame order within the queue is
+// preserved; the connection has exactly one writer, so frames never
+// interleave without any lock.
+func (t *TCP) writeLoop(p *tcpPeer) {
+	defer t.wg.Done()
+	frames := make([]outFrame, 0, maxBatchFrames)
+	for {
+		select {
+		case f := <-p.q:
+			frames = append(frames[:0], f)
+		case <-t.done:
+			return
+		}
+		// The channel handoff schedules this goroutine the moment the
+		// first frame lands, before concurrent senders get to enqueue
+		// theirs. Yielding once lets every runnable sender deposit its
+		// frame behind the first, so the drain below collects a real
+		// batch and the whole volley leaves in one writev — instead of
+		// one syscall per frame.
+		runtime.Gosched()
+	coalesce:
+		for len(frames) < maxBatchFrames {
+			select {
+			case f := <-p.q:
+				frames = append(frames, f)
+			default:
+				break coalesce
+			}
+		}
+		t.flush(p, frames)
+		for i := range frames {
+			frames[i].buf.Free()
+			frames[i] = outFrame{}
+		}
+	}
+}
+
+// flush writes one coalesced batch to the peer, dialing if necessary.
+// Failures follow datagram semantics: the batch is dropped, counted,
+// and the connection (if any) torn down for the next flush to redial.
+func (t *TCP) flush(p *tcpPeer, frames []outFrame) {
+	tel := t.tel.Load()
+	tel.queueDepth.Add(-int64(len(frames)))
+	conn, err := t.peerConn(p)
+	if err != nil {
+		tel.sendErrors.Add(int64(len(frames)))
+		return
+	}
+	bufs := make(net.Buffers, 0, len(frames))
+	payload := 0
+	for _, f := range frames {
+		bufs = append(bufs, f.buf.B)
+		payload += f.payload
+	}
+	start := tel.flushLatency.Start()
+	_, err = bufs.WriteTo(conn)
+	tel.flushLatency.ObserveSince(start)
+	if err != nil {
+		t.dropConn(p, conn)
+		tel.sendErrors.Add(int64(len(frames)))
+		return
+	}
+	tel.batchFrames.ObserveNanos(int64(len(frames)))
+	tel.sendFrames.Add(int64(len(frames)))
+	tel.sendBytes.Add(int64(payload))
+}
+
+// peerConn returns the peer's established connection, dialing (with a
+// bounded timeout) if none exists. After a failed dial the peer is
+// marked down for a jittered, exponentially growing interval, during
+// which flushes fail fast instead of re-dialing — a dead peer costs
+// each batch one clock read, not one connect timeout.
+func (t *TCP) peerConn(p *tcpPeer) (net.Conn, error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if c, ok := t.conns[node]; ok {
+	if p.conn != nil {
+		c := p.conn
 		t.mu.Unlock()
 		return c, nil
 	}
-	addr, ok := t.peers[node]
-	t.mu.Unlock()
-	if !ok {
-		// Bare sentinel: sendOne wraps with the node number, so adding
-		// it here too would print it twice.
-		return nil, ErrNoRoute
+	if until := p.downUntil; time.Now().Before(until) {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("transport: node %d down, redial after %s: %w",
+			p.node, time.Until(until).Round(time.Millisecond), ErrNoRoute)
 	}
-	raw, err := net.Dial("tcp", addr)
+	addr := p.addr
+	t.mu.Unlock()
+
+	conn, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
 	if err != nil {
+		t.mu.Lock()
+		if p.backoff <= 0 {
+			p.backoff = t.cfg.RedialBackoff
+		} else if p.backoff *= 2; p.backoff > t.cfg.RedialBackoffMax {
+			p.backoff = t.cfg.RedialBackoffMax
+		}
+		// Jitter in [backoff/2, backoff): concurrent nodes redialing a
+		// rebooted peer spread out instead of thundering together.
+		wait := p.backoff/2 + time.Duration(rand.Int63n(int64(p.backoff/2)+1))
+		p.downUntil = time.Now().Add(wait)
+		t.mu.Unlock()
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	t.tel.Load().reconnects.Inc()
-	c := &lockedConn{Conn: raw}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
-		raw.Close()
+		conn.Close()
 		return nil, ErrClosed
 	}
-	if prev, ok := t.conns[node]; ok {
-		// Lost a race with another sender; use the winner.
-		t.mu.Unlock()
-		raw.Close()
-		return prev, nil
-	}
-	t.conns[node] = c
+	p.conn = conn
+	p.backoff = 0
+	p.downUntil = time.Time{}
 	t.mu.Unlock()
-	return c, nil
+	t.tel.Load().reconnects.Inc()
+	return conn, nil
 }
 
-// lockedConn serializes concurrent writers so frames never interleave.
-type lockedConn struct {
-	net.Conn
-	mu sync.Mutex
-}
-
-//edenvet:ignore lockhold the write mutex exists precisely to serialize whole-frame writes; holding it across the write is the point
-func (c *lockedConn) Write(p []byte) (int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.Conn.Write(p)
+// dropConn discards a dead outbound connection; the next flush
+// redials.
+func (t *TCP) dropConn(p *tcpPeer, conn net.Conn) {
+	t.mu.Lock()
+	if p.conn == conn {
+		p.conn = nil
+	}
+	t.mu.Unlock()
+	conn.Close()
 }
 
 func (t *TCP) acceptLoop() {
@@ -270,7 +464,8 @@ func (t *TCP) dispatch(env msg.Envelope) {
 	}
 }
 
-// Close stops the listener and closes all connections.
+// Close stops the listener, the writers and all connections. Frames
+// still queued are discarded (datagram semantics).
 func (t *TCP) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -278,21 +473,37 @@ func (t *TCP) Close() error {
 		return nil
 	}
 	t.closed = true
-	conns := make([]net.Conn, 0, len(t.conns)+len(t.accepted))
-	for _, c := range t.conns {
-		conns = append(conns, c)
+	close(t.done)
+	conns := make([]net.Conn, 0, len(t.peers)+len(t.accepted))
+	peers := make([]*tcpPeer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+		if p.conn != nil {
+			conns = append(conns, p.conn)
+			p.conn = nil
+		}
 	}
 	// Accepted connections must be closed too, or their read loops
 	// would keep Close waiting until the remote side hangs up.
 	for c := range t.accepted {
 		conns = append(conns, c)
 	}
-	t.conns = make(map[uint32]net.Conn)
 	t.mu.Unlock()
 	err := t.ln.Close()
 	for _, c := range conns {
 		c.Close()
 	}
 	t.wg.Wait()
+	// Writers are gone; recycle whatever they never flushed.
+	for _, p := range peers {
+		for drained := false; !drained; {
+			select {
+			case f := <-p.q:
+				f.buf.Free()
+			default:
+				drained = true
+			}
+		}
+	}
 	return err
 }

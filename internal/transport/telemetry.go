@@ -14,6 +14,17 @@ const (
 	metricQueueDepth = "transport.queue.depth"
 	metricReconnects = "transport.reconnects"
 	metricSendErrors = "transport.send.errors"
+	// metricQueueDrops counts frames dropped by the send-queue
+	// backpressure policy (enqueue deadline expired, or a broadcast
+	// copy met a full queue).
+	metricQueueDrops = "transport.send.queue.drops"
+	// metricBatchFrames is the frames-per-flush distribution of the
+	// TCP writer's coalescing (a count histogram: the "nanos" axis is
+	// frames).
+	metricBatchFrames = "transport.send.batch"
+	// metricFlushLatency is the wall time of one coalesced writev
+	// flush.
+	metricFlushLatency = "transport.send.flush.latency"
 )
 
 // transportTel holds a transport's pre-resolved instruments. The zero
@@ -22,14 +33,17 @@ const (
 // Transports hold it behind an atomic pointer so SetTelemetry is safe
 // after traffic has started.
 type transportTel struct {
-	sendFrames *telemetry.Counter
-	sendBytes  *telemetry.Counter
-	recvFrames *telemetry.Counter
-	recvBytes  *telemetry.Counter
-	dropped    *telemetry.Counter
-	reconnects *telemetry.Counter
-	sendErrors *telemetry.Counter
-	queueDepth *telemetry.Gauge
+	sendFrames   *telemetry.Counter
+	sendBytes    *telemetry.Counter
+	recvFrames   *telemetry.Counter
+	recvBytes    *telemetry.Counter
+	dropped      *telemetry.Counter
+	reconnects   *telemetry.Counter
+	sendErrors   *telemetry.Counter
+	queueDrops   *telemetry.Counter
+	queueDepth   *telemetry.Gauge
+	batchFrames  *telemetry.Histogram
+	flushLatency *telemetry.Histogram
 }
 
 func newTransportTel(reg *telemetry.Registry) *transportTel {
@@ -37,13 +51,16 @@ func newTransportTel(reg *telemetry.Registry) *transportTel {
 		return &transportTel{}
 	}
 	return &transportTel{
-		sendFrames: reg.Counter(metricSendFrames),
-		sendBytes:  reg.Counter(metricSendBytes),
-		recvFrames: reg.Counter(metricRecvFrames),
-		recvBytes:  reg.Counter(metricRecvBytes),
-		dropped:    reg.Counter(metricDropped),
-		reconnects: reg.Counter(metricReconnects),
-		sendErrors: reg.Counter(metricSendErrors),
-		queueDepth: reg.Gauge(metricQueueDepth),
+		sendFrames:   reg.Counter(metricSendFrames),
+		sendBytes:    reg.Counter(metricSendBytes),
+		recvFrames:   reg.Counter(metricRecvFrames),
+		recvBytes:    reg.Counter(metricRecvBytes),
+		dropped:      reg.Counter(metricDropped),
+		reconnects:   reg.Counter(metricReconnects),
+		sendErrors:   reg.Counter(metricSendErrors),
+		queueDrops:   reg.Counter(metricQueueDrops),
+		queueDepth:   reg.Gauge(metricQueueDepth),
+		batchFrames:  reg.Histogram(metricBatchFrames),
+		flushLatency: reg.Histogram(metricFlushLatency),
 	}
 }

@@ -68,6 +68,7 @@ type Stats struct {
 // Mesh is an in-process network connecting any number of Endpoints.
 // The zero value is not usable; create with NewMesh.
 type Mesh struct {
+	cfg      Config
 	mu       sync.Mutex
 	eps      map[uint32]*Endpoint
 	latency  func(from, to uint32) time.Duration
@@ -82,10 +83,20 @@ type Mesh struct {
 	tel      atomic.Pointer[transportTel]
 }
 
-// NewMesh returns an empty mesh with zero latency and no loss,
-// deterministic under the given seed.
+// NewMesh returns an empty mesh with zero latency, no loss and default
+// queue tuning, deterministic under the given seed.
 func NewMesh(seed int64) *Mesh {
+	return NewMeshWithConfig(seed, Config{})
+}
+
+// NewMeshWithConfig returns an empty mesh with explicit queue tuning:
+// Config.QueueDepth sizes each endpoint's inbox and
+// Config.EnqueueTimeout bounds how long delivery blocks on a full
+// inbox before the frame is dropped (with a counter) — the same
+// backpressure policy the TCP transport applies to its send queues.
+func NewMeshWithConfig(seed int64, cfg Config) *Mesh {
 	m := &Mesh{
+		cfg:   cfg.withDefaults(),
 		eps:   make(map[uint32]*Endpoint),
 		parts: make(map[[2]uint32]bool),
 		rng:   rand.New(rand.NewSource(seed)),
@@ -173,7 +184,7 @@ func (m *Mesh) Attach(node uint32) (*Endpoint, error) {
 	if _, dup := m.eps[node]; dup {
 		return nil, fmt.Errorf("%w: %d", ErrDuplicateNode, node)
 	}
-	ep := &Endpoint{mesh: m, node: node, inbox: make(chan msg.Envelope, 256), done: make(chan struct{})}
+	ep := &Endpoint{mesh: m, node: node, inbox: make(chan msg.Envelope, m.cfg.QueueDepth), done: make(chan struct{})}
 	m.eps[node] = ep
 	go ep.pump()
 	return ep, nil
@@ -316,13 +327,29 @@ func (e *Endpoint) Send(env msg.Envelope) error {
 	return nil
 }
 
-// deliver queues a frame for the handler, dropping it if the endpoint
-// is gone or persistently backlogged.
+// deliver queues a frame for the handler: block with deadline on a
+// full inbox, then drop with a counter — so a wedged handler degrades
+// to datagram loss instead of stalling every sender in the mesh.
 func (e *Endpoint) deliver(env msg.Envelope) {
+	tel := e.mesh.tel.Load()
 	select {
 	case e.inbox <- env:
-		e.mesh.tel.Load().queueDepth.Add(1)
+		tel.queueDepth.Add(1)
+		return
 	case <-e.done:
+		return
+	default:
+	}
+	deadline := time.NewTimer(e.mesh.cfg.EnqueueTimeout)
+	defer deadline.Stop()
+	select {
+	case e.inbox <- env:
+		tel.queueDepth.Add(1)
+	case <-e.done:
+	case <-deadline.C:
+		e.mesh.dropped.Add(1)
+		tel.dropped.Inc()
+		tel.queueDrops.Inc()
 	}
 }
 

@@ -1,12 +1,15 @@
 package transport
 
 import (
+	"errors"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"eden/internal/msg"
+	"eden/internal/telemetry"
 )
 
 // collector gathers frames delivered to a handler.
@@ -423,5 +426,109 @@ func TestTCPConcurrentSendersNoInterleave(t *testing.T) {
 				t.Fatalf("frame %d interleaved at byte %d", i, j)
 			}
 		}
+	}
+}
+
+// TestTCPQueueOverflowAccounting wedges a peer's writer (the remote
+// end accepts but never reads, so a flush eventually blocks in the
+// kernel's socket buffer) and verifies the backpressure policy: a
+// unicast send on the full queue blocks out its enqueue deadline, then
+// fails with ErrQueueFull — and every such drop is visible in
+// telemetry.
+func TestTCPQueueOverflowAccounting(t *testing.T) {
+	sink, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sink.Close() })
+	go func() {
+		for {
+			conn, err := sink.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // accepted, never read
+		}
+	}()
+
+	a, err := NewTCPWithConfig(1, "127.0.0.1:0", Config{
+		QueueDepth:     2,
+		EnqueueTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	a.AddPeer(2, sink.Addr().String())
+	reg := telemetry.New()
+	a.SetTelemetry(reg)
+
+	payload := make([]byte, 64<<10)
+	var overflow error
+	for i := 0; i < 500; i++ {
+		if err := a.Send(msg.Envelope{Kind: msg.KindHello, To: 2, Payload: payload}); err != nil {
+			overflow = err
+			break
+		}
+	}
+	if !errors.Is(overflow, ErrQueueFull) {
+		t.Fatalf("expected ErrQueueFull after wedging the writer, got %v", overflow)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[metricQueueDrops] < 1 {
+		t.Errorf("queue drops = %d, want >= 1", snap.Counters[metricQueueDrops])
+	}
+	if snap.Counters[metricDropped] < 1 {
+		t.Errorf("dropped = %d, want >= 1", snap.Counters[metricDropped])
+	}
+	drops := snap.Counters[metricQueueDrops]
+
+	// Broadcast copies follow datagram semantics on the same full
+	// queue: no error, immediate drop, counter bumped.
+	if err := a.Send(msg.Envelope{Kind: msg.KindHello, To: msg.Broadcast, Payload: payload}); err != nil {
+		t.Fatalf("broadcast on full queue returned %v, want nil", err)
+	}
+	snap = reg.Snapshot()
+	if snap.Counters[metricQueueDrops] != drops+1 {
+		t.Errorf("broadcast drop not counted: queue drops = %d, want %d", snap.Counters[metricQueueDrops], drops+1)
+	}
+}
+
+// TestTCPBatchHistogram verifies the writer's coalescing telemetry:
+// every delivered frame is accounted to exactly one flush batch, so
+// the batch histogram's sum equals the frame count.
+func TestTCPBatchHistogram(t *testing.T) {
+	a, _, _, cb := tcpPair(t)
+	reg := telemetry.New()
+	a.SetTelemetry(reg)
+	const n = 60
+	var wg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n/4; i++ {
+				if err := a.Send(msg.Envelope{Kind: msg.KindHello, To: 2, Payload: []byte("x")}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	cb.wait(t, n, 5*time.Second)
+	snap := reg.Snapshot()
+	h, ok := snap.Histograms[metricBatchFrames]
+	if !ok || h.Count < 1 {
+		t.Fatalf("batch histogram empty: %+v", h)
+	}
+	if h.SumNanos != n {
+		t.Errorf("batch histogram sum = %d frames, want %d", h.SumNanos, n)
+	}
+	if h.Count > n {
+		t.Errorf("batch count %d exceeds frames sent %d", h.Count, n)
+	}
+	if snap.Counters[metricSendFrames] != n {
+		t.Errorf("send frames = %d, want %d", snap.Counters[metricSendFrames], n)
 	}
 }

@@ -33,6 +33,14 @@ type SystemConfig struct {
 	// one for traffic counters (System.NetworkTelemetry). Off by
 	// default; the disabled path costs nothing on invocations.
 	Telemetry bool
+	// SendQueueDepth bounds each node's transport queue in frames
+	// (the mesh inbox here; the per-peer send queue in cmd/edennode's
+	// TCP deployment). Zero uses the transport default.
+	SendQueueDepth int
+	// SendQueueTimeout bounds how long a send blocks on a full queue
+	// before the frame is dropped with a counter (the transport's
+	// backpressure deadline). Zero uses the transport default.
+	SendQueueTimeout time.Duration
 }
 
 // System is an assembly of Eden nodes connected by an in-process
@@ -58,8 +66,11 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		seed = 1981 // the year Eden was described
 	}
 	s := &System{
-		cfg:   cfg,
-		mesh:  transport.NewMesh(seed),
+		cfg: cfg,
+		mesh: transport.NewMeshWithConfig(seed, transport.Config{
+			QueueDepth:     cfg.SendQueueDepth,
+			EnqueueTimeout: cfg.SendQueueTimeout,
+		}),
 		reg:   kernel.NewRegistry(),
 		nodes: make(map[uint32]*Node),
 	}
