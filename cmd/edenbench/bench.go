@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -50,37 +51,126 @@ func benchType() *eden.TypeManager {
 	return tm
 }
 
-// runBenchJSON measures the three op classes the roadmap tracks —
-// local invoke, remote (Mesh) invoke, and checkpoint — each on a fresh
-// system with telemetry enabled, and writes the report. If baseline is
-// non-empty the report is compared against it and an error returned on
-// any op class whose throughput regressed more than tolerance.
-func runBenchJSON(rev, out, baseline string, tolerance float64) error {
-	report := BenchReport{Rev: rev}
+// hotReadWork models the paper's satellite-device read: a read-only
+// operation that holds the representation for a short, fixed time
+// (storage latency, decode work) rather than returning instantly.
+// This is the workload the reader pool exists for — with an exclusive
+// coordinator the holds serialize; with AccessRead fan-out they
+// overlap even on one CPU.
+const hotReadWork = 200 * time.Microsecond
+
+// hotReadType is a type whose "scan" op reads a blob from the
+// representation under the shared lock and simulates device latency
+// while holding it.
+func hotReadType() *eden.TypeManager {
+	tm := eden.NewType("hotread")
+	tm.Op(eden.Operation{
+		Name:   "scan",
+		Access: eden.AccessRead,
+		Handler: func(c *eden.Call) {
+			var n int
+			c.Self().View(func(r *eden.Representation) {
+				b, _ := r.Data("blob")
+				n = len(b)
+				time.Sleep(hotReadWork)
+			})
+			c.Return([]byte{byte(n), byte(n >> 8)})
+		},
+	})
+	return tm
+}
+
+// measureOnce runs every scenario once, in order, each on a fresh
+// system with telemetry enabled.
+func measureOnce() ([]BenchResult, error) {
+	var results []BenchResult
 
 	local, err := benchLocalInvoke(5000)
 	if err != nil {
-		return fmt.Errorf("local invoke: %w", err)
+		return nil, fmt.Errorf("local invoke: %w", err)
 	}
-	report.Results = append(report.Results, local)
+	results = append(results, local)
 
 	remote, err := benchRemoteInvoke(2000)
 	if err != nil {
-		return fmt.Errorf("remote invoke: %w", err)
+		return nil, fmt.Errorf("remote invoke: %w", err)
 	}
-	report.Results = append(report.Results, remote)
+	results = append(results, remote)
 
 	conc, err := benchRemoteInvokeConcurrent(4000, 8)
 	if err != nil {
-		return fmt.Errorf("concurrent remote invoke: %w", err)
+		return nil, fmt.Errorf("concurrent remote invoke: %w", err)
 	}
-	report.Results = append(report.Results, conc)
+	results = append(results, conc)
+
+	hot1, err := benchHotRead(800, 1)
+	if err != nil {
+		return nil, fmt.Errorf("hot read x1: %w", err)
+	}
+	results = append(results, hot1)
+
+	hot8, err := benchHotRead(3200, 8)
+	if err != nil {
+		return nil, fmt.Errorf("hot read x8: %w", err)
+	}
+	results = append(results, hot8)
 
 	ckpt, err := benchCheckpoint(500)
 	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
+		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	report.Results = append(report.Results, ckpt)
+	results = append(results, ckpt)
+
+	return results, nil
+}
+
+// medianResults reduces repeated measurements to one result per
+// scenario: the run with the median throughput, kept whole so the
+// reported latency quantiles come from the same run as the reported
+// ops/sec.
+func medianResults(runs [][]BenchResult) []BenchResult {
+	byName := make(map[string][]BenchResult)
+	var order []string
+	for _, run := range runs {
+		for _, r := range run {
+			if _, seen := byName[r.Name]; !seen {
+				order = append(order, r.Name)
+			}
+			byName[r.Name] = append(byName[r.Name], r)
+		}
+	}
+	out := make([]BenchResult, 0, len(order))
+	for _, name := range order {
+		rs := byName[name]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].OpsPerSec < rs[j].OpsPerSec })
+		out = append(out, rs[len(rs)/2])
+	}
+	return out
+}
+
+// runBenchJSON measures the op classes the roadmap tracks — local
+// invoke, remote (Mesh) invoke, concurrent remote invoke, hot-object
+// concurrent reads, and checkpoint — and writes the report. With
+// runs > 1 the whole suite repeats and each scenario reports its
+// median run, which is what CI compares: single-shot numbers on a
+// 1-vCPU runner are too noisy to gate on. If baseline is non-empty
+// the report is compared against it and an error returned on any op
+// class whose throughput regressed more than tolerance.
+func runBenchJSON(rev, out, baseline string, tolerance float64, runs int) error {
+	if runs < 1 {
+		runs = 1
+	}
+	report := BenchReport{Rev: rev}
+
+	all := make([][]BenchResult, 0, runs)
+	for i := 0; i < runs; i++ {
+		results, err := measureOnce()
+		if err != nil {
+			return err
+		}
+		all = append(all, results)
+	}
+	report.Results = medianResults(all)
 
 	if out == "" {
 		out = fmt.Sprintf("BENCH_%s.json", rev)
@@ -250,6 +340,73 @@ func benchRemoteInvokeConcurrent(ops, invokers int) (BenchResult, error) {
 	default:
 	}
 	return result("invoke.remote.concurrent", perInvoker*invokers, elapsed, tel, "kernel.invoke.remote.latency")
+}
+
+// benchHotRead drives one hot object with `callers` concurrent
+// invokers of its AccessRead "scan" op, all local to one node. Each
+// scan holds the shared representation lock for hotReadWork, so the
+// scenario measures the coordinator's reader fan-out: with callers=1
+// throughput is bounded by one scan at a time; with callers=8 the
+// reader pool overlaps the holds and aggregate ops/sec should scale
+// well beyond the single-caller figure.
+func benchHotRead(ops, callers int) (BenchResult, error) {
+	sys, err := eden.NewSystem(eden.SystemConfig{Telemetry: true})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer sys.Close()
+	if err := sys.RegisterType(hotReadType()); err != nil {
+		return BenchResult{}, err
+	}
+	n, err := sys.AddNode("bench")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	cap, err := n.CreateObject("hotread")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	obj, err := n.Object(cap)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	if err := obj.Update(func(r *segment.Representation) error {
+		r.SetData("blob", make([]byte, 4096))
+		return nil
+	}); err != nil {
+		return BenchResult{}, err
+	}
+	opts := &eden.InvokeOptions{Timeout: 30 * time.Second}
+	// Warm the dispatch path outside the timed region.
+	if _, err := n.Invoke(cap, "scan", nil, nil, opts); err != nil {
+		return BenchResult{}, err
+	}
+
+	perCaller := ops / callers
+	errs := make(chan error, callers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < callers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perCaller; i++ {
+				if _, err := n.Invoke(cap, "scan", nil, nil, opts); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return BenchResult{}, fmt.Errorf("caller: %w", err)
+	default:
+	}
+	name := fmt.Sprintf("invoke.read.hot%d", callers)
+	return result(name, perCaller*callers, elapsed, n.Telemetry(), "kernel.invoke.local.latency")
 }
 
 func benchCheckpoint(ops int) (BenchResult, error) {

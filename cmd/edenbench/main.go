@@ -29,10 +29,11 @@ func main() {
 	out := flag.String("o", "", "benchmark report path (default BENCH_<rev>.json)")
 	baseline := flag.String("baseline", "", "compare the report against this baseline JSON and fail on regressions")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional throughput regression vs the baseline")
+	runs := flag.Int("runs", 1, "repeat the micro-benchmark suite N times and report per-scenario medians")
 	flag.Parse()
 
 	if *jsonOut {
-		if err := runBenchJSON(*rev, *out, *baseline, *tolerance); err != nil {
+		if err := runBenchJSON(*rev, *out, *baseline, *tolerance, *runs); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -56,6 +56,7 @@ func main() {
 	sendTimeout := flag.Duration("send-timeout", 0, "how long a unicast send blocks on a full queue before dropping (0 = transport default)")
 	dialTimeout := flag.Duration("dial-timeout", 0, "bound on one TCP dial attempt to a peer (0 = transport default)")
 	redialBackoff := flag.Duration("redial-backoff", 0, "initial pause after a failed dial, doubling with jitter per failure (0 = transport default)")
+	readers := flag.Int("readers", 0, "per-object reader pool: concurrent read-only processes of one object (0 = kernel default)")
 	flag.Parse()
 
 	if *name == "" {
@@ -106,6 +107,7 @@ func main() {
 		fatal("%v", err)
 	}
 	cfg := kernel.DefaultConfig(uint32(*node), *name)
+	cfg.ReaderPool = *readers
 	if *metrics != "" {
 		tel := telemetry.New()
 		cfg.Telemetry = tel

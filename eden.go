@@ -79,6 +79,9 @@ type (
 	Representation = segment.Representation
 	// Reliability selects a checkpoint placement policy level.
 	Reliability = kernel.Reliability
+	// Access is an operation's declared access class (shared, read,
+	// write), driving the coordinator's reader/writer scheduling.
+	Access = kernel.Access
 	// Semaphore is the kernel-supplied intra-object counting
 	// semaphore.
 	Semaphore = kernel.Semaphore
@@ -124,6 +127,20 @@ const (
 	// RelReplicated keeps checkpoints locally and at every designated
 	// remote site.
 	RelReplicated = kernel.RelReplicated
+)
+
+// Operation access classes, re-exported.
+const (
+	// AccessShared (the zero value) runs the operation concurrently
+	// with everything else; the type synchronizes internally through
+	// invocation-class limits, semaphores, and ports.
+	AccessShared = kernel.AccessShared
+	// AccessRead marks the operation read-only; its processes share a
+	// bounded per-object reader pool and run concurrently.
+	AccessRead = kernel.AccessRead
+	// AccessWrite marks the operation mutating; its process runs
+	// exclusively, with writer preference over queued readers.
+	AccessWrite = kernel.AccessWrite
 )
 
 // TypeRight returns the i'th type-defined right (0 ≤ i < 16), whose

@@ -277,43 +277,56 @@ func (k *Kernel) tryLocal(req msg.InvokeReq, allowReplica, remoteOrigin bool, ti
 }
 
 // dispatch hands one call to an object's coordinator and awaits the
-// reply, honoring the node's virtual processor budget.
+// reply, honoring the node's virtual processor budget. One absolute
+// deadline covers the whole dispatch — the virtual-processor wait, the
+// admission-queue hand-off, and the reply wait share a single timer,
+// so a call can never consume more than its caller's time limit (the
+// old code armed a fresh full-length timer after the virtual-processor
+// wait, doubling the worst case).
 func (k *Kernel) dispatch(obj *Object, req msg.InvokeReq, timeout time.Duration) (msg.InvokeRep, error) {
 	// The serving side verifies rights before admitting the call: a
 	// request that arrived over the wire carries whatever capability
 	// the sender claims, and the target's node — not the sender — is
 	// the authority. The coordinator re-checks per-operation rights in
-	// admit; this gate rejects capabilities lacking Invoke before they
+	// arrive; this gate rejects capabilities lacking Invoke before they
 	// consume a virtual processor.
 	if !req.Target.Has(rights.Invoke) {
 		k.tel.rightsDenied.Inc()
 		return msg.InvokeRep{Status: msg.StatusRights, Data: []byte("capability lacks invoke right")}, nil
 	}
 	start := k.tel.dispatchLat.Start()
+	deadline := time.Now().Add(timeout)
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	if k.vprocs != nil {
 		// The node has a fixed pool of virtual processors; handler
-		// execution beyond it queues here.
+		// execution beyond it queues here. A call whose deadline
+		// expires in this queue is shed — it never cost a processor.
 		select {
 		case k.vprocs <- struct{}{}:
 			defer func() { <-k.vprocs }()
-		case <-time.After(timeout):
+		case <-timer.C:
+			k.tel.admissionShed.Inc()
 			return msg.InvokeRep{Status: msg.StatusTimeout}, nil
 		}
 	}
 	c := &callCtx{
-		op:      req.Operation,
-		data:    req.Data,
-		caps:    req.Caps,
-		rts:     req.Target.Rights(),
-		replyCh: make(chan msg.InvokeRep, 1),
+		op:       req.Operation,
+		data:     req.Data,
+		caps:     req.Caps,
+		rts:      req.Target.Rights(),
+		replyCh:  make(chan msg.InvokeRep, 1),
+		deadline: deadline,
+		queued:   true,
 	}
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
+	k.tel.admissionDepth.Add(1)
 	select {
 	case obj.inbox <- c:
 	case <-obj.down:
+		k.tel.admissionDepth.Add(-1)
 		return k.retryAfterDown(obj, req)
 	case <-timer.C:
+		k.tel.admissionDepth.Add(-1)
 		return msg.InvokeRep{Status: msg.StatusTimeout}, nil
 	}
 	select {

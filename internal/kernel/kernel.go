@@ -48,6 +48,11 @@ type Config struct {
 	// they have no behavioral effect beyond VirtualProcessors.
 	GDPs, IPs  int
 	Satellites []string
+	// ReaderPool bounds how many read-only (AccessRead) invocation
+	// processes may execute concurrently against one object's
+	// representation. 0 uses DefaultReaderPool; 1 serializes reads.
+	// Mutating (AccessWrite) invocations always run exclusively.
+	ReaderPool int
 	// DefaultTimeout bounds invocations that pass no timeout.
 	DefaultTimeout time.Duration
 	// Telemetry, when non-nil, receives the kernel's metrics and
@@ -180,9 +185,16 @@ type Kernel struct {
 // New assembles a kernel from its substrates. types is typically
 // shared across all kernels of a system (homogeneous nodes); st is the
 // node's long-term store (nil gets an in-memory store).
+// DefaultReaderPool is the per-object bound on concurrently executing
+// read-only invocation processes when Config.ReaderPool is zero.
+const DefaultReaderPool = 8
+
 func New(cfg Config, tr transport.Transport, types *Registry, st store.Store) *Kernel {
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 5 * time.Second
+	}
+	if cfg.ReaderPool <= 0 {
+		cfg.ReaderPool = DefaultReaderPool
 	}
 	if st == nil {
 		st = store.NewMemory()
@@ -462,8 +474,8 @@ func (k *Kernel) recharge(obj *Object, newSize int64) {
 }
 
 func repSize(obj *Object) int {
-	obj.mu.Lock()
-	defer obj.mu.Unlock()
+	obj.mu.RLock()
+	defer obj.mu.RUnlock()
 	return obj.rep.Size()
 }
 

@@ -283,14 +283,14 @@ func (k *Kernel) removeActive(o *Object) {
 // queued invocations bounce to the new home instead of reporting a
 // crash.
 func (o *Object) destroyActiveState(movedTo uint32) {
-	o.mu.Lock()
+	o.sched.Lock()
 	if o.state == stDown {
-		o.mu.Unlock()
+		o.sched.Unlock()
 		return
 	}
 	o.state = stDown
 	o.movedTo = movedTo
-	o.mu.Unlock()
+	o.sched.Unlock()
 	o.downOnce.Do(func() { close(o.down) })
 	o.behaviors.Wait()
 }
@@ -356,37 +356,40 @@ func (k *Kernel) moveObject(o *Object, to uint32) error {
 	if to == k.cfg.Node {
 		return nil // already here
 	}
-	o.mu.Lock()
 	if o.replica {
-		o.mu.Unlock()
 		return fmt.Errorf("kernel: cannot move a replica")
 	}
+	o.sched.Lock()
 	if o.state != stActive {
 		st := o.state
-		o.mu.Unlock()
+		o.sched.Unlock()
 		if st == stMoving {
 			return ErrMoving
 		}
 		return ErrCrashed
 	}
 	o.state = stMoving
-	// Quiesce: wait for running handler processes to complete. New
-	// arrivals queue at the coordinator and will be bounced to the new
-	// home once the transfer commits.
+	// Quiesce: wait for running handler processes — the reader pool
+	// included — to complete. New arrivals queue at the coordinator
+	// and will be bounced to the new home once the transfer commits.
 	o.waitDrainedLocked()
+	o.sched.Unlock()
+	// Invocation processes are drained and stMoving blocks new ones;
+	// the read lock excludes any behavior mutating mid-encode.
+	o.mu.RLock()
 	encoded := o.rep.Encode(nil)
 	ver := o.version
 	frozen := o.frozen
-	o.mu.Unlock()
+	o.mu.RUnlock()
 
 	ship := msg.Ship{Purpose: msg.ShipMove, Object: o.id, TypeName: o.tm.Name, Frozen: frozen, Version: ver, Rep: encoded}
 	if err := k.shipAndWait(to, ship, k.cfg.DefaultTimeout); err != nil {
 		// Abort: the object resumes service here.
-		o.mu.Lock()
+		o.sched.Lock()
 		if o.state == stMoving {
 			o.state = stActive
 		}
-		o.mu.Unlock()
+		o.sched.Unlock()
 		return fmt.Errorf("kernel: move to node %d: %w", to, err)
 	}
 
@@ -602,10 +605,10 @@ func (k *Kernel) evictUntil(target int64) {
 		var victim *Object
 		var oldest int64
 		for _, o := range k.active {
-			o.mu.Lock()
+			o.sched.Lock()
 			eligible := o.state == stActive && o.running == 0 && !o.replica
 			last := o.lastInvoked
-			o.mu.Unlock()
+			o.sched.Unlock()
 			if !eligible {
 				continue
 			}

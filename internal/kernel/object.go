@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"eden/internal/capability"
 	"eden/internal/edenid"
@@ -38,16 +39,28 @@ type Object struct {
 	id edenid.ID
 	tm *TypeManager
 
-	mu          sync.Mutex
-	rep         *segment.Representation
-	version     uint64 // checkpoint version counter
-	frozen      bool
+	// mu is a reader/writer lock on the representation: View calls
+	// from the bounded reader pool share it, while Update and
+	// Checkpoint's snapshot exclude everything.
+	mu      sync.RWMutex
+	rep     *segment.Representation
+	version uint64 // checkpoint version counter
+	frozen  bool
+
+	// sched guards the incarnation's scheduling state. It is separate
+	// from mu so the coordinator can admit new processes while readers
+	// sit inside View holding mu: with a single RWMutex, one blocked
+	// reader would stall the coordinator's write-lock acquisition —
+	// and, since a waiting writer blocks new RLocks, serialize the
+	// whole pool.
+	sched       sync.Mutex
 	state       objState
-	movedTo     uint32 // valid once state becomes stMoving->moved
-	running     int    // handler processes currently executing
-	lastInvoked int64  // monotonic tick of the last admitted invocation
-	drained     *sync.Cond
-	charged     atomic.Int64 // bytes charged to the node's memory budget
+	movedTo     uint32     // valid once state becomes stMoving->moved
+	running     int        // handler processes currently executing
+	lastInvoked int64      // monotonic tick of the last admitted invocation
+	drained     *sync.Cond // on sched
+
+	charged atomic.Int64 // bytes charged to the node's memory budget
 
 	// replica marks a frozen replica cached at this node; home then
 	// names the object's true home node.
@@ -55,6 +68,7 @@ type Object struct {
 	home    uint32
 
 	inbox    chan *callCtx
+	procDone chan Access   // reader/writer process completions, back to the coordinator
 	down     chan struct{} // closed when active state is destroyed
 	downOnce sync.Once
 
@@ -74,23 +88,36 @@ type callCtx struct {
 	caps    capability.List
 	rts     rights.Set
 	replyCh chan msg.InvokeRep
+	// deadline is the caller's absolute time limit; admission sheds the
+	// call instead of dispatching a process once it has passed. Zero
+	// means no deadline.
+	deadline time.Time
+	// queued tracks the admission-queue depth gauge: set by dispatch
+	// when the call is charged to the gauge, cleared (exactly once, by
+	// whichever side disposes of the call) when it leaves admission.
+	// After enqueue only the coordinator goroutine touches it.
+	queued bool
 }
 
 func (k *Kernel) newObject(id edenid.ID, tm *TypeManager, rep *segment.Representation, version uint64, frozen bool) *Object {
 	o := &Object{
-		k:        k,
-		id:       id,
-		tm:       tm,
-		rep:      rep,
-		version:  version,
-		frozen:   frozen,
-		inbox:    make(chan *callCtx, 128),
+		k:       k,
+		id:      id,
+		tm:      tm,
+		rep:     rep,
+		version: version,
+		frozen:  frozen,
+		inbox:   make(chan *callCtx, 128),
+		// At most ReaderPool readers or one writer run at a time, so a
+		// buffer of pool+1 guarantees completion sends never block —
+		// even after the coordinator has exited at teardown.
+		procDone: make(chan Access, k.cfg.ReaderPool+1),
 		down:     make(chan struct{}),
 		classTok: make(map[string]chan struct{}),
 		sems:     make(map[string]*Semaphore),
 		ports:    make(map[string]*Port),
 	}
-	o.drained = sync.NewCond(&o.mu)
+	o.drained = sync.NewCond(&o.sched)
 	// Build the class admission gates: one counting gate per limited
 	// class reachable through the type (including inherited ops).
 	for class, limit := range collectClassLimits(k.types, tm) {
@@ -143,8 +170,8 @@ func (o *Object) Node() uint32 { return o.k.cfg.Node }
 
 // Frozen reports whether the representation has been made immutable.
 func (o *Object) Frozen() bool {
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	return o.frozen
 }
 
@@ -154,8 +181,8 @@ func (o *Object) IsReplica() bool { return o.replica }
 
 // Version returns the object's current checkpoint version.
 func (o *Object) Version() uint64 {
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	return o.version
 }
 
@@ -167,11 +194,12 @@ func (o *Object) SelfCapability(rts rights.Set) capability.Capability {
 }
 
 // View runs fn with read access to the representation. fn must not
-// block on kernel operations and must not retain the representation
-// beyond the call.
+// mutate the representation, block on kernel operations, or retain
+// the representation beyond the call. Views share the representation
+// lock, so processes of the reader pool execute concurrently.
 func (o *Object) View(fn func(r *segment.Representation)) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	fn(o.rep)
 }
 
@@ -235,51 +263,256 @@ func (o *Object) SpawnBehavior(fn func(stop <-chan struct{})) {
 	}()
 }
 
+// schedCall is one validated invocation waiting in the coordinator's
+// admission queue for a reader slot or writer exclusivity.
+type schedCall struct {
+	c  *callCtx
+	op *Operation
+}
+
+// coordState is the coordinator's scheduling state: Eden's "tree of
+// processes" for one object. Read-only calls fan out to a bounded pool
+// of concurrently executing processes; mutating calls drain the
+// readers and run exclusively, in arrival order, with preference over
+// newly arriving readers. All fields are owned by the coordinator
+// goroutine — no lock guards them.
+type coordState struct {
+	o       *Object
+	readQ   []*schedCall // admitted read-only calls awaiting a pool slot
+	writeQ  []*schedCall // admitted mutating calls awaiting exclusivity
+	held    []*callCtx   // calls arriving during a move
+	readers int          // reader processes currently executing
+	writer  bool         // a writer process is executing
+}
+
 // coordinate is the coordinator process: "kernel code responsible for
 // maintenance of the object, reception of invocation requests ...,
 // verification of rights, and dispatching of processes to
-// invocations". One goroutine per active object.
+// invocations". One goroutine per active object; it owns the object's
+// admission queues and reader/writer schedule.
 func (o *Object) coordinate() {
-	var held []*callCtx // calls arriving during a move
+	cs := &coordState{o: o}
 	for {
 		select {
 		case c := <-o.inbox:
-			o.mu.Lock()
+			o.sched.Lock()
 			st := o.state
-			o.mu.Unlock()
+			o.sched.Unlock()
 			switch st {
 			case stMoving:
-				held = append(held, c)
+				cs.held = append(cs.held, c)
 			case stDown:
+				o.unqueue(c)
 				c.reply(msg.InvokeRep{Status: msg.StatusCrashed})
 			default:
-				o.admit(c)
+				cs.arrive(c)
 			}
+		case cls := <-o.procDone:
+			cs.complete(cls)
 		case <-o.down:
-			// Drain: everything queued or held is answered so no
-			// invoker hangs until its timeout.
-			o.mu.Lock()
-			moved := o.state == stMoving || o.movedTo != 0
-			dest := o.movedTo
-			o.mu.Unlock()
-			for {
-				select {
-				case c := <-o.inbox:
-					held = append(held, c)
-					continue
-				default:
-				}
-				break
-			}
-			for _, c := range held {
-				if moved && dest != 0 {
-					c.reply(movedReply(dest))
-				} else {
-					c.reply(msg.InvokeRep{Status: msg.StatusCrashed})
-				}
-			}
+			cs.drain()
 			return
 		}
+	}
+}
+
+// arrive validates one call on the coordinator — operation resolution,
+// rights, replica and frozen gates — then routes it by access class:
+// shared calls dispatch immediately (the type synchronizes them with
+// its own monitors), readers and writers enter the admission queues.
+func (cs *coordState) arrive(c *callCtx) {
+	o := cs.o
+	op, _, err := o.k.types.resolveOp(o.tm, c.op)
+	if err != nil {
+		o.unqueue(c)
+		c.reply(msg.InvokeRep{Status: msg.StatusNoSuchOperation, Data: []byte(err.Error())})
+		return
+	}
+	// Rights verification: the capability must carry Invoke plus the
+	// operation's declared rights.
+	need := op.Rights.Union(rights.Invoke)
+	if !c.rts.Has(need) {
+		o.unqueue(c)
+		c.reply(msg.InvokeRep{
+			Status: msg.StatusRights,
+			Data:   []byte(fmt.Sprintf("operation %q requires rights %v, capability has %v", c.op, need, c.rts)),
+		})
+		return
+	}
+	o.mu.RLock()
+	replica, frozen, home := o.replica, o.frozen, o.home
+	o.mu.RUnlock()
+	if replica && !op.ReadOnly {
+		// A cached replica serves only read-only operations; bounce
+		// the invoker to the home node.
+		o.unqueue(c)
+		c.reply(movedReply(home))
+		return
+	}
+	if frozen && !op.ReadOnly && !replica {
+		o.unqueue(c)
+		c.reply(msg.InvokeRep{Status: msg.StatusFrozen, Data: []byte("representation is frozen")})
+		return
+	}
+	switch op.Access {
+	case AccessRead:
+		cs.readQ = append(cs.readQ, &schedCall{c: c, op: op})
+	case AccessWrite:
+		cs.writeQ = append(cs.writeQ, &schedCall{c: c, op: op})
+	default:
+		cs.spawn(op, c, AccessShared)
+		return
+	}
+	cs.schedule()
+}
+
+// complete processes one reader/writer process completion and
+// reschedules.
+func (cs *coordState) complete(cls Access) {
+	switch cls {
+	case AccessRead:
+		cs.readers--
+	case AccessWrite:
+		cs.writer = false
+	}
+	cs.schedule()
+}
+
+// schedule is the reader/writer admission policy. Expired calls are
+// shed first — they cost a queue slot, never a process. Then: a
+// pending writer waits only for running readers to drain (writer
+// preference — queued readers stay queued), writers run one at a time
+// in arrival order, and readers fan out up to the pool bound.
+func (cs *coordState) schedule() {
+	cs.shedExpired()
+	if cs.writer {
+		return
+	}
+	for len(cs.writeQ) > 0 && cs.readers == 0 && !cs.writer {
+		sc := cs.writeQ[0]
+		cs.writeQ = cs.writeQ[1:]
+		if cs.spawn(sc.op, sc.c, AccessWrite) {
+			cs.writer = true
+		}
+	}
+	if cs.writer || len(cs.writeQ) > 0 {
+		return
+	}
+	for len(cs.readQ) > 0 && cs.readers < cs.o.k.cfg.ReaderPool {
+		sc := cs.readQ[0]
+		cs.readQ = cs.readQ[1:]
+		if cs.spawn(sc.op, sc.c, AccessRead) {
+			cs.readers++
+		}
+	}
+}
+
+// shedExpired drops queued calls whose caller deadline has passed:
+// the caller has already given up, so dispatching a process for the
+// call would only burn a virtual processor on a reply nobody reads.
+func (cs *coordState) shedExpired() {
+	if len(cs.readQ) == 0 && len(cs.writeQ) == 0 {
+		return
+	}
+	now := time.Now()
+	cs.readQ = cs.shedQueue(cs.readQ, now)
+	cs.writeQ = cs.shedQueue(cs.writeQ, now)
+}
+
+func (cs *coordState) shedQueue(q []*schedCall, now time.Time) []*schedCall {
+	kept := q[:0]
+	for _, sc := range q {
+		if !sc.c.deadline.IsZero() && now.After(sc.c.deadline) {
+			cs.o.shed(sc.c)
+			continue
+		}
+		kept = append(kept, sc)
+	}
+	// Zero the tail so shed entries do not linger reachable.
+	for i := len(kept); i < len(q); i++ {
+		q[i] = nil
+	}
+	return kept
+}
+
+// shed rejects one expired call with StatusTimeout and counts it.
+func (o *Object) shed(c *callCtx) {
+	o.unqueue(c)
+	o.k.tel.admissionShed.Inc()
+	c.reply(msg.InvokeRep{Status: msg.StatusTimeout})
+}
+
+// spawn dispatches one process for a validated call, re-checking
+// lifecycle state under the lock so a queued call cannot start
+// executing against an incarnation that began moving or was destroyed
+// after the call was admitted. It reports whether a process started.
+func (cs *coordState) spawn(op *Operation, c *callCtx, cls Access) bool {
+	o := cs.o
+	o.sched.Lock()
+	switch o.state {
+	case stMoving:
+		o.sched.Unlock()
+		cs.held = append(cs.held, c)
+		return false
+	case stDown:
+		moved := o.movedTo
+		o.sched.Unlock()
+		o.unqueue(c)
+		if moved != 0 {
+			c.reply(movedReply(moved))
+		} else {
+			c.reply(msg.InvokeRep{Status: msg.StatusCrashed})
+		}
+		return false
+	}
+	o.running++
+	o.lastInvoked = o.k.tick.Add(1)
+	o.sched.Unlock()
+	o.unqueue(c)
+	go o.runProcess(op, c, cls)
+	return true
+}
+
+// drain answers everything queued or held so no invoker hangs until
+// its timeout: the reader pool and writer queue quiesce along with the
+// incarnation.
+func (cs *coordState) drain() {
+	o := cs.o
+	o.sched.Lock()
+	moved := o.state == stMoving || o.movedTo != 0
+	dest := o.movedTo
+	o.sched.Unlock()
+	for {
+		select {
+		case c := <-o.inbox:
+			cs.held = append(cs.held, c)
+			continue
+		default:
+		}
+		break
+	}
+	for _, sc := range cs.readQ {
+		cs.held = append(cs.held, sc.c)
+	}
+	for _, sc := range cs.writeQ {
+		cs.held = append(cs.held, sc.c)
+	}
+	for _, c := range cs.held {
+		o.unqueue(c)
+		if moved && dest != 0 {
+			c.reply(movedReply(dest))
+		} else {
+			c.reply(msg.InvokeRep{Status: msg.StatusCrashed})
+		}
+	}
+}
+
+// unqueue settles the call's admission-queue depth charge. Safe to
+// call more than once per call: only the first settles the gauge.
+func (o *Object) unqueue(c *callCtx) {
+	if c.queued {
+		c.queued = false
+		o.k.tel.admissionDepth.Add(-1)
 	}
 }
 
@@ -300,58 +533,28 @@ func movedDest(rep msg.InvokeRep) (uint32, bool) {
 		uint32(rep.Data[2])<<8 | uint32(rep.Data[3]), true
 }
 
-// admit validates a call and dispatches a process for it. Validation
-// runs on the coordinator; the process itself is a fresh goroutine
-// gated by its invocation class.
-func (o *Object) admit(c *callCtx) {
-	op, _, err := o.k.types.resolveOp(o.tm, c.op)
-	if err != nil {
-		c.reply(msg.InvokeRep{Status: msg.StatusNoSuchOperation, Data: []byte(err.Error())})
-		return
-	}
-	// Rights verification: the capability must carry Invoke plus the
-	// operation's declared rights.
-	need := op.Rights.Union(rights.Invoke)
-	if !c.rts.Has(need) {
-		c.reply(msg.InvokeRep{
-			Status: msg.StatusRights,
-			Data:   []byte(fmt.Sprintf("operation %q requires rights %v, capability has %v", c.op, need, c.rts)),
-		})
-		return
-	}
-	o.mu.Lock()
-	if o.replica && !op.ReadOnly {
-		// A cached replica serves only read-only operations; bounce
-		// the invoker to the home node.
-		home := o.home
-		o.mu.Unlock()
-		c.reply(movedReply(home))
-		return
-	}
-	if o.frozen && !op.ReadOnly && !o.replica {
-		o.mu.Unlock()
-		c.reply(msg.InvokeRep{Status: msg.StatusFrozen, Data: []byte("representation is frozen")})
-		return
-	}
-	o.running++
-	o.lastInvoked = o.k.tick.Add(1)
-	o.mu.Unlock()
-	go o.runProcess(op, c)
-}
-
 // runProcess executes one invocation: acquire the class gate, run the
 // handler, and reply. "In the normal case, a new process will be
-// created and assigned the invocation."
+// created and assigned the invocation." Reader and writer processes
+// report completion to the coordinator so the next calls can be
+// scheduled.
 //
-//edenvet:ignore rightsgate admit verifies Invoke plus the operation's declared rights on the coordinator before spawning this process
-func (o *Object) runProcess(op *Operation, c *callCtx) {
+//edenvet:ignore rightsgate arrive verifies Invoke plus the operation's declared rights on the coordinator before the call is scheduled
+func (o *Object) runProcess(op *Operation, c *callCtx, cls Access) {
+	o.k.tel.serveConc.Add(1)
 	defer func() {
-		o.mu.Lock()
+		o.k.tel.serveConc.Add(-1)
+		o.sched.Lock()
 		o.running--
 		if o.running == 0 {
 			o.drained.Broadcast()
 		}
-		o.mu.Unlock()
+		o.sched.Unlock()
+		if cls == AccessRead || cls == AccessWrite {
+			// Buffered past the pool bound; never blocks, even after
+			// the coordinator exited at teardown.
+			o.procDone <- cls
+		}
 	}()
 
 	if tok := o.classTok[op.Class]; tok != nil {
@@ -388,9 +591,9 @@ func (o *Object) runProcess(op *Operation, c *callCtx) {
 
 	// A crash that happened while the handler ran destroys its result:
 	// the invoker sees the crash, not a reply from a dead incarnation.
-	o.mu.Lock()
+	o.sched.Lock()
 	crashed := o.state == stDown && o.movedTo == 0
-	o.mu.Unlock()
+	o.sched.Unlock()
 	if crashed {
 		c.reply(msg.InvokeRep{Status: msg.StatusCrashed})
 		return
@@ -407,7 +610,7 @@ func (c *callCtx) reply(rep msg.InvokeRep) {
 }
 
 // waitDrained blocks until no handler processes are running. Caller
-// must hold o.mu.
+// must hold o.sched.
 func (o *Object) waitDrainedLocked() {
 	for o.running > 0 {
 		o.drained.Wait()
@@ -529,10 +732,13 @@ func (o *Object) Describe() Anatomy {
 	}
 	sort.Strings(a.Operations)
 
-	o.mu.Lock()
+	o.sched.Lock()
+	a.Running = o.running
+	o.sched.Unlock()
+
+	o.mu.RLock()
 	a.Version = o.version
 	a.Frozen = o.frozen
-	a.Running = o.running
 	a.RepBytes = o.rep.Size()
 	for _, name := range o.rep.Names() {
 		info := SegmentInfo{Name: name}
@@ -543,7 +749,7 @@ func (o *Object) Describe() Anatomy {
 		}
 		a.Segments = append(a.Segments, info)
 	}
-	o.mu.Unlock()
+	o.mu.RUnlock()
 
 	o.semMu.Lock()
 	for name := range o.sems {
@@ -576,9 +782,9 @@ func (o *Object) Invoke(target capability.Capability, operation string, data []b
 // channel closes when fn returns.
 func (c *Call) Subprocess(fn func()) <-chan struct{} {
 	o := c.self
-	o.mu.Lock()
+	o.sched.Lock()
 	o.running++
-	o.mu.Unlock()
+	o.sched.Unlock()
 	done := make(chan struct{})
 	go func() {
 		defer func() {
@@ -586,12 +792,12 @@ func (c *Call) Subprocess(fn func()) <-chan struct{} {
 				// A subordinate's panic is contained like a handler's.
 				_ = r
 			}
-			o.mu.Lock()
+			o.sched.Lock()
 			o.running--
 			if o.running == 0 {
 				o.drained.Broadcast()
 			}
-			o.mu.Unlock()
+			o.sched.Unlock()
 			close(done)
 		}()
 		fn()

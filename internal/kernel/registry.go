@@ -26,6 +26,46 @@ import (
 // name one. Its concurrency limit defaults to unlimited.
 const DefaultClass = "default"
 
+// Access is an operation's declared access class: how its processes
+// may share the object's representation. The coordinator schedules
+// each invocation by this declaration — the paper's "tree of
+// processes" synchronized by the kernel rather than by every caller
+// serializing through one dispatch loop.
+type Access uint8
+
+const (
+	// AccessShared is the zero value: the operation's processes run
+	// concurrently with everything else and the type synchronizes
+	// internally through the monitor machinery (invocation-class
+	// limits, semaphores, ports). This is the scheduling every
+	// operation had before access classes existed.
+	AccessShared Access = iota
+	// AccessRead declares the operation read-only. Its processes fan
+	// out to a bounded per-object pool (Config.ReaderPool) and run
+	// concurrently against the representation, but never alongside an
+	// AccessWrite process.
+	AccessRead
+	// AccessWrite declares the operation mutating. Its process runs
+	// exclusively: pending readers drain first, queued readers wait
+	// behind it (writer preference), and writers execute one at a time
+	// in arrival order.
+	AccessWrite
+)
+
+// String names the access class.
+func (a Access) String() string {
+	switch a {
+	case AccessShared:
+		return "shared"
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("access(%d)", uint8(a))
+	}
+}
+
 // Handler is the body of one operation, executed by a process (a
 // goroutine) dispatched by the object's coordinator. The handler
 // reads parameters from and writes results to the Call.
@@ -45,6 +85,12 @@ type Operation struct {
 	// Rights are the rights, beyond rights.Invoke, that the invoking
 	// capability must carry.
 	Rights rights.Set
+	// Access is the operation's declared access class; it drives the
+	// coordinator's reader/writer scheduling. The zero value
+	// (AccessShared) preserves monitor-synchronized concurrency.
+	// Setting ReadOnly implies AccessRead, and vice versa; Op
+	// normalizes the pair.
+	Access Access
 	// ReadOnly marks operations that do not mutate the representation;
 	// only these may be served by a frozen replica on another node.
 	ReadOnly bool
@@ -107,6 +153,17 @@ func (t *TypeManager) Op(op Operation) *TypeManager {
 	}
 	if op.Class == "" {
 		op.Class = DefaultClass
+	}
+	// Normalize the two read-only declarations: ReadOnly (the replica-
+	// serving flag) and AccessRead (the scheduling class) imply each
+	// other; a ReadOnly writer is a static contradiction.
+	if op.ReadOnly && op.Access == AccessWrite {
+		panic(fmt.Sprintf("kernel: operation %q on type %q is ReadOnly but declares AccessWrite", op.Name, t.Name))
+	}
+	if op.ReadOnly {
+		op.Access = AccessRead
+	} else if op.Access == AccessRead {
+		op.ReadOnly = true
 	}
 	t.Operations[op.Name] = &op
 	return t

@@ -31,6 +31,10 @@ type kernelTel struct {
 
 	activeObjects *telemetry.Gauge // active incarnations on this node
 	memBytes      *telemetry.Gauge // representation bytes resident
+
+	admissionShed  *telemetry.Counter // calls shed by admission before executing
+	admissionDepth *telemetry.Gauge   // calls waiting in admission (vproc + coordinator queues)
+	serveConc      *telemetry.Gauge   // invocation processes currently executing
 }
 
 // Metric names, also documented in the README's Observability section.
@@ -48,6 +52,9 @@ const (
 	metricPortWait        = "kernel.sync.port.wait"
 	metricActiveObjects   = "kernel.objects.active"
 	metricMemoryBytes     = "kernel.memory.bytes"
+	metricAdmissionShed   = "kernel.admission.shed"
+	metricAdmissionDepth  = "kernel.admission.queue.depth"
+	metricServeConc       = "kernel.serve.concurrency"
 )
 
 func newKernelTel(reg *telemetry.Registry) kernelTel {
@@ -67,6 +74,10 @@ func newKernelTel(reg *telemetry.Registry) kernelTel {
 		ckptBytes:     reg.Counter(metricCheckpointBytes),
 		activeObjects: reg.Gauge(metricActiveObjects),
 		memBytes:      reg.Gauge(metricMemoryBytes),
+
+		admissionShed:  reg.Counter(metricAdmissionShed),
+		admissionDepth: reg.Gauge(metricAdmissionDepth),
+		serveConc:      reg.Gauge(metricServeConc),
 	}
 }
 

@@ -118,6 +118,9 @@ type NodeConfig struct {
 	// objects when MemoryBytes would be exceeded, instead of failing
 	// activations — the full single-level-memory behavior.
 	EvictOnPressure bool
+	// ReaderPool bounds how many AccessRead processes of one object
+	// run concurrently (0 = kernel default).
+	ReaderPool int
 }
 
 // AddNode creates a node, assigns it the next node number, and boots
@@ -172,6 +175,7 @@ func (s *System) boot(n *Node) error {
 	cfg.VirtualProcessors = n.nc.VirtualProcessors
 	cfg.MemoryBytes = n.nc.MemoryBytes
 	cfg.EvictOnPressure = n.nc.EvictOnPressure
+	cfg.ReaderPool = n.nc.ReaderPool
 	cfg.Telemetry = n.tel
 	if s.cfg.DefaultTimeout > 0 {
 		cfg.DefaultTimeout = s.cfg.DefaultTimeout
