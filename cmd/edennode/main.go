@@ -37,8 +37,11 @@ import (
 	"eden/internal/capability"
 	"eden/internal/editor"
 	"eden/internal/efs"
+	"eden/internal/faultstore"
 	"eden/internal/kernel"
+	"eden/internal/killpoint"
 	"eden/internal/naming"
+	"eden/internal/rights"
 	"eden/internal/segment"
 	"eden/internal/store"
 	"eden/internal/telemetry"
@@ -57,7 +60,20 @@ func main() {
 	dialTimeout := flag.Duration("dial-timeout", 0, "bound on one TCP dial attempt to a peer (0 = transport default)")
 	redialBackoff := flag.Duration("redial-backoff", 0, "initial pause after a failed dial, doubling with jitter per failure (0 = transport default)")
 	readers := flag.Int("readers", 0, "per-object reader pool: concurrent read-only processes of one object (0 = kernel default)")
+	faultSeed := flag.Int64("fault-seed", 0, "seed for the fault-injection schedule (0 = faultstore default); faults only fire with a fault probability or -fault-sync-lie set")
+	faultFail := flag.Float64("fault-fail-prob", 0, "probability a store operation fails with an injected media error")
+	faultDelay := flag.Float64("fault-delay-prob", 0, "probability a store operation is delayed")
+	faultMaxDelay := flag.Duration("fault-max-delay", 0, "bound on one injected store delay (0 = faultstore default)")
+	faultTorn := flag.Float64("fault-torn-prob", 0, "probability a store Put tears: success reported, corrupt record written")
+	faultSyncLie := flag.Bool("fault-sync-lie", false, "acknowledge store writes before they are durable; a crash loses them")
 	flag.Parse()
+
+	// A crash harness plants a deterministic death through the
+	// environment; an unarmed process pays one atomic load per
+	// boundary.
+	if p, armed := killpoint.ArmFromEnv(); armed {
+		fmt.Printf("killpoint armed: %s (after %s passes)\n", p, os.Getenv(killpoint.EnvAfter))
+	}
 
 	if *name == "" {
 		*name = fmt.Sprintf("node-%d", *node)
@@ -85,12 +101,33 @@ func main() {
 		}
 	}
 
+	var tel *telemetry.Registry
+	if *metrics != "" {
+		tel = telemetry.New()
+	}
+
 	var st store.Store
 	if *storeDir != "" {
 		st, err = store.NewFile(*storeDir)
 		if err != nil {
 			fatal("store: %v", err)
 		}
+	}
+	if *faultFail > 0 || *faultDelay > 0 || *faultTorn > 0 || *faultSyncLie {
+		if st == nil {
+			st = store.NewMemory()
+		}
+		st = faultstore.Wrap(st, faultstore.Config{
+			Seed:      *faultSeed,
+			FailProb:  *faultFail,
+			DelayProb: *faultDelay,
+			MaxDelay:  *faultMaxDelay,
+			TornProb:  *faultTorn,
+			SyncLie:   *faultSyncLie,
+			Telemetry: tel,
+		})
+		fmt.Printf("faultstore armed: seed=%d fail=%g delay=%g torn=%g sync-lie=%v\n",
+			*faultSeed, *faultFail, *faultDelay, *faultTorn, *faultSyncLie)
 	}
 
 	reg := kernel.NewRegistry()
@@ -108,8 +145,7 @@ func main() {
 	}
 	cfg := kernel.DefaultConfig(uint32(*node), *name)
 	cfg.ReaderPool = *readers
-	if *metrics != "" {
-		tel := telemetry.New()
+	if tel != nil {
 		cfg.Telemetry = tel
 		tr.SetTelemetry(tel)
 		addr, err := serveMetrics(*metrics, tel)
@@ -123,8 +159,8 @@ func main() {
 
 	fmt.Printf("%s listening on %s; peers: %v\n", *name, tr.Addr(), tr.Peers())
 	fmt.Println(`commands: create <type> | invoke <cap> <op> [hexdata] | types | ls |
-          checkpoint <cap> | move <cap> <node> | stats | describe <cap> |
-          show <cap> | quit`)
+          checkpoint <cap> | passivate <cap> | move <cap> <node> | stats |
+          describe <cap> | show <cap> | quit`)
 	console(k)
 }
 
@@ -148,6 +184,12 @@ func serveMetrics(addr string, tel *telemetry.Registry) (string, error) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(tel.Snapshot())
+	})
+	mux.HandleFunc("/killpoints", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(killpoint.Counters())
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		spans := tel.Spans()
@@ -203,6 +245,59 @@ func counterType() *kernel.TypeManager {
 				b, _ := r.Data("n")
 				c.Return(b)
 			})
+		},
+	})
+	// incdur is inc with a durability promise: the increment is
+	// checkpointed before the reply, so an acknowledged incdur must
+	// survive any crash. Crash harnesses build their no-lost-writes
+	// invariant on it. Reply: value(8) | checkpoint version(8).
+	tm.Op(kernel.Operation{
+		Name:  "incdur",
+		Class: "write",
+		Handler: func(c *kernel.Call) {
+			var out [8]byte
+			err := c.Self().Update(func(r *segment.Representation) error {
+				b, _ := r.Data("n")
+				binary.BigEndian.PutUint64(out[:], binary.BigEndian.Uint64(b)+1)
+				r.SetData("n", out[:])
+				return nil
+			})
+			if err == nil {
+				err = c.Self().Checkpoint()
+			}
+			if err != nil {
+				c.Fail("incdur: %v", err)
+				return
+			}
+			var ver [8]byte
+			binary.BigEndian.PutUint64(ver[:], c.Self().Version())
+			c.Return(append(out[:], ver[:]...))
+		},
+	})
+	// stat reports value(8) | checkpoint version(8) without mutating
+	// anything — the harness's post-restart observation.
+	tm.Op(kernel.Operation{
+		Name:     "stat",
+		ReadOnly: true,
+		Handler: func(c *kernel.Call) {
+			var b [16]byte
+			c.Self().View(func(r *segment.Representation) {
+				n, _ := r.Data("n")
+				copy(b[:8], n)
+			})
+			binary.BigEndian.PutUint64(b[8:], c.Self().Version())
+			c.Return(b[:])
+		},
+	})
+	// secret requires the first type-defined rights bit, so a harness
+	// can verify rights restriction survives crash/reincarnation: a
+	// capability restricted to Invoke must keep failing here.
+	tm.Op(kernel.Operation{
+		Name:     "secret",
+		ReadOnly: true,
+		Rights:   rights.Type(0),
+		Handler: func(c *kernel.Call) {
+			c.Return([]byte("secret"))
 		},
 	})
 	return tm
@@ -280,6 +375,18 @@ func console(k *kernel.Kernel) {
 					fmt.Println(" ", err)
 				} else {
 					fmt.Printf("  checkpointed at version %d\n", o.Version())
+				}
+			})
+		case "passivate":
+			if len(fields) != 2 {
+				fmt.Println("  usage: passivate <cap>")
+				continue
+			}
+			withObject(k, fields[1], func(o *kernel.Object) {
+				if err := o.Passivate(); err != nil {
+					fmt.Println(" ", err)
+				} else {
+					fmt.Printf("  passivated at version %d\n", o.Version())
 				}
 			})
 		case "move":

@@ -97,6 +97,8 @@ type Stats struct {
 	IncrementalCheckpoints int64
 	// Moves counts objects shipped away from this node.
 	Moves int64
+	// MoveAborts counts moves that failed and resumed service here.
+	MoveAborts int64
 	// ReplicasInstalled counts frozen replicas cached here.
 	ReplicasInstalled int64
 	// Evictions counts objects passivated by memory pressure.
@@ -177,7 +179,8 @@ type Kernel struct {
 	stLocal, stRemote, stServed, stChases atomic.Int64
 	stReinc, stCkpt, stCkptBytes          atomic.Int64
 	stCkptIncr                            atomic.Int64
-	stMoves, stReplicas, stEvictions      atomic.Int64
+	stMoves, stMoveAborts                 atomic.Int64
+	stReplicas, stEvictions               atomic.Int64
 	tick                                  atomic.Int64 // recency counter for eviction
 	activationMu                          sync.Mutex   // serializes reincarnations
 }
@@ -259,6 +262,7 @@ func (k *Kernel) Stats() Stats {
 		CheckpointBytes:        k.stCkptBytes.Load(),
 		IncrementalCheckpoints: k.stCkptIncr.Load(),
 		Moves:                  k.stMoves.Load(),
+		MoveAborts:             k.stMoveAborts.Load(),
 		ReplicasInstalled:      k.stReplicas.Load(),
 		Evictions:              k.stEvictions.Load(),
 	}

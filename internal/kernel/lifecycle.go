@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"eden/internal/edenid"
+	"eden/internal/killpoint"
 	"eden/internal/msg"
 	"eden/internal/segment"
 	"eden/internal/store"
@@ -58,6 +59,12 @@ func (k *Kernel) activate(id edenid.ID) (*Object, error) {
 			return nil, fmt.Errorf("kernel: reincarnation of %v failed: %w", id, err)
 		}
 	}
+	// Crash boundary: the checkpoint is decoded and the handler has
+	// run, but nothing is installed — a kill here must leave the next
+	// activation able to reincarnate from the same durable record.
+	// (This runs with activationMu held; an armed test fn must not call
+	// back into the kernel.)
+	killpoint.Hit(killpoint.ReincarnatePreInstall)
 	if err := k.install(obj); err != nil {
 		return nil, err
 	}
@@ -97,9 +104,16 @@ func (o *Object) Checkpoint() error {
 	}
 	o.mu.Unlock()
 
+	// Crash boundary: the version is advanced in memory but nothing is
+	// durable — a kill here must recover to the previous checkpoint.
+	killpoint.Hit(killpoint.CheckpointPreSync)
 	start := o.k.tel.ckptLat.Start()
 	err := o.k.writeCheckpoint(o.id, o.tm.Name, ver, frozen, encoded, partial, removed)
 	if err == nil {
+		// Crash boundary: the checkpoint is durable but the caller has
+		// not learned of it — a kill here loses the acknowledgment,
+		// never the data.
+		killpoint.Hit(killpoint.CheckpointPostSync)
 		o.k.tel.ckptLat.ObserveSince(start)
 		o.k.tel.ckptBytes.Add(int64(len(encoded)))
 		o.k.stCkpt.Add(1)
@@ -238,6 +252,10 @@ func (o *Object) Passivate() error {
 	if err := o.Checkpoint(); err != nil {
 		return err
 	}
+	// Crash boundary: the passivation checkpoint is durable but the
+	// active state still exists — a kill here is equivalent to a crash
+	// right after a successful checkpoint.
+	killpoint.Hit(killpoint.PassivatePreRelease)
 	o.k.removeActive(o)
 	o.destroyActiveState(0)
 	return nil
@@ -383,15 +401,26 @@ func (k *Kernel) moveObject(o *Object, to uint32) error {
 	o.mu.RUnlock()
 
 	ship := msg.Ship{Purpose: msg.ShipMove, Object: o.id, TypeName: o.tm.Name, Frozen: frozen, Version: ver, Rep: encoded}
+	// Crash boundary: the object is quiesced and encoded but has not
+	// left the node — a kill here must reincarnate it at this home.
+	killpoint.Hit(killpoint.MovePreShip)
 	if err := k.shipAndWait(to, ship, k.cfg.DefaultTimeout); err != nil {
-		// Abort: the object resumes service here.
+		// Abort: the object resumes service here, and calls held at the
+		// coordinator during the move are re-admitted rather than left
+		// to time out.
 		o.sched.Lock()
 		if o.state == stMoving {
 			o.state = stActive
 		}
 		o.sched.Unlock()
+		o.notifyResume()
+		k.stMoveAborts.Add(1)
 		return fmt.Errorf("kernel: move to node %d: %w", to, err)
 	}
+	// Crash boundary: the destination has installed the object but this
+	// home has not committed — a kill here leaves two durable records;
+	// the forwarding handshake must resolve to the destination's.
+	killpoint.Hit(killpoint.MovePreCommit)
 
 	// Commit: we are no longer the home; leave a forwarding pointer.
 	k.mu.Lock()
@@ -419,6 +448,9 @@ func (k *Kernel) moveObject(o *Object, to uint32) error {
 	k.loc.Learn(o.id, to, false)
 	k.stMoves.Add(1)
 	o.destroyActiveState(to)
+	// Crash boundary: the move is fully committed — a kill here must
+	// find the object serving at its new home.
+	killpoint.Hit(killpoint.MovePostCommit)
 	return nil
 }
 

@@ -70,6 +70,7 @@ type Object struct {
 	inbox    chan *callCtx
 	procDone chan Access   // reader/writer process completions, back to the coordinator
 	down     chan struct{} // closed when active state is destroyed
+	resume   chan struct{} // pinged when an aborted move re-admits held calls
 	downOnce sync.Once
 
 	classTok map[string]chan struct{}
@@ -113,6 +114,7 @@ func (k *Kernel) newObject(id edenid.ID, tm *TypeManager, rep *segment.Represent
 		// even after the coordinator has exited at teardown.
 		procDone: make(chan Access, k.cfg.ReaderPool+1),
 		down:     make(chan struct{}),
+		resume:   make(chan struct{}, 1),
 		classTok: make(map[string]chan struct{}),
 		sems:     make(map[string]*Semaphore),
 		ports:    make(map[string]*Port),
@@ -309,10 +311,35 @@ func (o *Object) coordinate() {
 			}
 		case cls := <-o.procDone:
 			cs.complete(cls)
+		case <-o.resume:
+			cs.readmit()
 		case <-o.down:
 			cs.drain()
 			return
 		}
+	}
+}
+
+// readmit re-admits calls held during a move after the move aborts:
+// the object resumed service here, so held invokers get scheduled
+// instead of timing out against a silent queue. Each call re-enters
+// through arrive, which re-validates it and sheds any whose caller
+// deadline expired while the move was in flight.
+func (cs *coordState) readmit() {
+	held := cs.held
+	cs.held = nil
+	for _, c := range held {
+		cs.arrive(c)
+	}
+}
+
+// notifyResume wakes the coordinator to re-admit held calls. Non-
+// blocking: one pending notification is enough, and the coordinator
+// may already be gone at teardown.
+func (o *Object) notifyResume() {
+	select {
+	case o.resume <- struct{}{}:
+	default:
 	}
 }
 

@@ -114,6 +114,11 @@ type NodeConfig struct {
 	// empty uses an in-memory store that survives node crashes within
 	// the process.
 	StoreDir string
+	// Store, when non-nil, is used directly as the node's long-term
+	// storage, overriding StoreDir — the injection point for
+	// fault-schedule wrappers (internal/faultstore) in crash tests.
+	// Like any node store it survives Crash/Restart.
+	Store store.Store
 	// EvictOnPressure makes the node transparently passivate idle
 	// objects when MemoryBytes would be exceeded, instead of failing
 	// activations — the full single-level-memory behavior.
@@ -142,12 +147,15 @@ func (s *System) AddNodeWithConfig(name string, nc NodeConfig) (*Node, error) {
 
 	var st store.Store
 	var err error
-	if nc.StoreDir != "" {
+	switch {
+	case nc.Store != nil:
+		st = nc.Store
+	case nc.StoreDir != "":
 		st, err = store.NewFile(nc.StoreDir)
 		if err != nil {
 			return nil, err
 		}
-	} else {
+	default:
 		st = store.NewMemory()
 	}
 	n := &Node{sys: s, num: num, name: name, nc: nc, st: st}
@@ -305,7 +313,9 @@ func (n *Node) Down() bool {
 }
 
 // Crash power-fails the node: all active object state is lost; the
-// long-term store survives for Restart.
+// long-term store survives for Restart — except writes a lying store
+// acknowledged without making durable (internal/faultstore's sync-lie
+// overlay), which a power failure loses by definition.
 func (n *Node) Crash() {
 	n.mu.Lock()
 	k := n.k
@@ -313,6 +323,9 @@ func (n *Node) Crash() {
 	n.mu.Unlock()
 	if k != nil {
 		_ = k.Close()
+	}
+	if d, ok := n.st.(interface{ DropUnsynced() int }); ok {
+		d.DropUnsynced()
 	}
 	n.sys.mesh.Detach(n.num)
 }
