@@ -10,11 +10,15 @@
 //	edenvet ./...      # same
 //	edenvet <dir>      # analyze the module rooted at <dir>
 //	edenvet -q ./...   # suppress the summary, print findings only
+//	edenvet -json ./...    # machine-readable report on stdout
+//	edenvet -gha ./...     # GitHub Actions ::error annotations
+//	edenvet -strict ./...  # stale suppressions are failures too
 //
 // Diagnostics are printed as file:line: analyzer: message.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,17 +30,54 @@ import (
 
 func main() {
 	quiet := flag.Bool("q", false, "print findings only, no summary")
+	jsonOut := flag.Bool("json", false, "emit a JSON report on stdout instead of text")
+	gha := flag.Bool("gha", false, "emit GitHub Actions ::error annotations alongside findings")
+	strict := flag.Bool("strict", false, "exit non-zero on stale suppressions, not just findings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: edenvet [-q] [./... | module-dir]\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: edenvet [-q] [-json] [-gha] [-strict] [./... | module-dir]\n\nanalyzers:\n")
 		for _, a := range analysis.All() {
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
-	os.Exit(run(flag.Args(), *quiet))
+	os.Exit(run(flag.Args(), options{quiet: *quiet, json: *jsonOut, gha: *gha, strict: *strict}))
 }
 
-func run(args []string, quiet bool) int {
+type options struct {
+	quiet  bool
+	json   bool
+	gha    bool
+	strict bool
+}
+
+// jsonFinding is one diagnostic in the -json report.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonSuppression is one //edenvet:ignore in the -json report; stale
+// ones carry "stale": true.
+type jsonSuppression struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+	Stale    bool   `json:"stale,omitempty"`
+}
+
+// jsonReport is the -json output: everything the text form prints, in
+// one machine-readable document.
+type jsonReport struct {
+	Packages     int               `json:"packages"`
+	Findings     []jsonFinding     `json:"findings"`
+	Suppressed   []jsonFinding     `json:"suppressed"`
+	Suppressions []jsonSuppression `json:"suppressions"`
+}
+
+func run(args []string, opts options) int {
 	root := "."
 	if len(args) > 0 && args[0] != "./..." && args[0] != "..." {
 		root = strings.TrimSuffix(args[0], "/...")
@@ -71,12 +112,64 @@ func run(args []string, quiet bool) int {
 		unused = append(unused, u...)
 	}
 
+	if opts.json {
+		report := jsonReport{Packages: len(pkgs), Findings: []jsonFinding{}, Suppressed: []jsonFinding{}, Suppressions: []jsonSuppression{}}
+		for _, d := range active {
+			report.Findings = append(report.Findings, jsonFinding{
+				File: relPath(root, d.Pos.Filename), Line: d.Pos.Line,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		for _, d := range suppressed {
+			report.Suppressed = append(report.Suppressed, jsonFinding{
+				File: relPath(root, d.Pos.Filename), Line: d.Pos.Line,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		staleAt := make(map[string]bool, len(unused))
+		for _, s := range unused {
+			staleAt[fmt.Sprintf("%s:%d", s.Pos.Filename, s.Pos.Line)] = true
+		}
+		seen := make(map[string]bool)
+		for _, pkg := range pkgs {
+			sups, _ := analysis.CollectSuppressions(pkg)
+			for _, s := range sups {
+				key := fmt.Sprintf("%s:%d:%s", s.Pos.Filename, s.Pos.Line, s.Analyzer)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				report.Suppressions = append(report.Suppressions, jsonSuppression{
+					File: relPath(root, s.Pos.Filename), Line: s.Pos.Line,
+					Analyzer: s.Analyzer, Reason: s.Reason,
+					Stale: staleAt[fmt.Sprintf("%s:%d", s.Pos.Filename, s.Pos.Line)],
+				})
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "edenvet: %v\n", err)
+			return 2
+		}
+		return exitCode(active, unused, opts)
+	}
+
 	for _, d := range active {
 		fmt.Println(render(root, d))
 		perAnalyzer[d.Analyzer]++
+		if opts.gha {
+			annotate(root, d.Pos.Filename, d.Pos.Line, fmt.Sprintf("%s: %s", d.Analyzer, d.Message))
+		}
+	}
+	if opts.gha && opts.strict {
+		for _, s := range unused {
+			annotate(root, s.Pos.Filename, s.Pos.Line,
+				fmt.Sprintf("stale suppression: //edenvet:ignore %s %s matches nothing", s.Analyzer, s.Reason))
+		}
 	}
 
-	if !quiet {
+	if !opts.quiet {
 		if len(suppressed) > 0 {
 			fmt.Printf("\n%d finding(s) suppressed by //edenvet:ignore:\n", len(suppressed))
 			for _, d := range suppressed {
@@ -93,15 +186,40 @@ func run(args []string, quiet bool) int {
 			len(pkgs), len(active), len(suppressed))
 		for _, a := range analysis.All() {
 			if n := perAnalyzer[a.Name]; n > 0 {
-				fmt.Printf("  %-12s %d\n", a.Name, n)
+				fmt.Printf("  %-14s %d\n", a.Name, n)
 			}
 		}
 	}
 
+	return exitCode(active, unused, opts)
+}
+
+// exitCode: findings always fail; stale suppressions fail under
+// -strict (a suppression matching nothing is a lie in the source).
+func exitCode(active []analysis.Diagnostic, unused []analysis.Suppression, opts options) int {
 	if len(active) > 0 {
 		return 1
 	}
+	if opts.strict && len(unused) > 0 {
+		return 1
+	}
 	return 0
+}
+
+// annotate prints one GitHub Actions workflow command so the finding
+// shows inline on the PR diff. The file path is workspace-relative,
+// which is what the annotation machinery expects.
+func annotate(root, file string, line int, msg string) {
+	fmt.Printf("::error file=%s,line=%d::%s\n", relPath(root, file), line, escapeGHA(msg))
+}
+
+// escapeGHA escapes the characters the workflow-command parser treats
+// specially in the message portion.
+func escapeGHA(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 func render(root string, d analysis.Diagnostic) string {

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"eden/internal/analysis"
+)
+
+func TestExitCode(t *testing.T) {
+	finding := []analysis.Diagnostic{{Analyzer: "capleak"}}
+	stale := []analysis.Suppression{{Analyzer: "capleak"}}
+	cases := []struct {
+		name   string
+		active []analysis.Diagnostic
+		unused []analysis.Suppression
+		opts   options
+		want   int
+	}{
+		{"clean", nil, nil, options{}, 0},
+		{"finding fails", finding, nil, options{}, 1},
+		{"stale tolerated by default", nil, stale, options{}, 0},
+		{"stale fails under strict", nil, stale, options{strict: true}, 1},
+		{"finding beats stale", finding, stale, options{strict: true}, 1},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.active, tc.unused, tc.opts); got != tc.want {
+			t.Errorf("%s: exitCode = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestEscapeGHA(t *testing.T) {
+	// The workflow-command parser terminates the message at a bare
+	// newline and expands %, so all three must be escaped.
+	got := escapeGHA("50% done\r\nnext")
+	want := "50%25 done%0D%0Anext"
+	if got != want {
+		t.Errorf("escapeGHA = %q, want %q", got, want)
+	}
+}
+
+func TestJSONReportShape(t *testing.T) {
+	// The report must marshal with empty slices, not nulls: consumers
+	// index findings unconditionally.
+	b, err := json.Marshal(jsonReport{Packages: 3, Findings: []jsonFinding{}, Suppressed: []jsonFinding{}, Suppressions: []jsonSuppression{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"packages":3,"findings":[],"suppressed":[],"suppressions":[]}`
+	if string(b) != want {
+		t.Errorf("report = %s, want %s", b, want)
+	}
+}
+
+func TestRenderRelativizes(t *testing.T) {
+	d := analysis.Diagnostic{Analyzer: "lockhold", Message: "m"}
+	d.Pos.Filename = "/repo/internal/kernel/object.go"
+	d.Pos.Line = 12
+	if got, want := render("/repo", d), "internal/kernel/object.go:12: lockhold: m"; got != want {
+		t.Errorf("render = %q, want %q", got, want)
+	}
+	// Paths outside the root stay absolute rather than sprouting ../.
+	d.Pos.Filename = "/elsewhere/x.go"
+	if got := render("/repo", d); got != "/elsewhere/x.go:12: lockhold: m" {
+		t.Errorf("render outside root = %q", got)
+	}
+}

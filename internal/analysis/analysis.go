@@ -11,6 +11,17 @@
 // a bounded timeout (timeoutprop), and every deadline-bearing kernel
 // or transport entry point records a latency sample (telemetrytag).
 //
+// On top of those six syntactic checks sits a shared intraprocedural
+// effect engine (effects.go): assignment, &-escape and mutating-method
+// tracking over go/types, with a package-local call graph for one
+// level of interprocedural summary. Three mutation-aware analyzers are
+// built on it: operations declared read-only must actually be pure in
+// their representation (accesspurity), store mutations in lifecycle
+// call trees must be bracketed by killpoint crossings so the crash
+// harness can schedule kills around them (killpointcover), and a field
+// accessed through sync/atomic must never also be touched by plain
+// load/store (atomicmix).
+//
 // Everything here is built on go/ast, go/parser, go/token and go/types
 // only, so the suite builds in an offline environment with a bare
 // toolchain.
@@ -45,6 +56,9 @@ func All() []*Analyzer {
 		SentinelWrap,
 		TimeoutProp,
 		TelemetryTag,
+		AccessPurity,
+		KillpointCover,
+		AtomicMix,
 	}
 }
 

@@ -51,8 +51,10 @@ func wantComments(t *testing.T, pkg *Package) map[int]string {
 }
 
 // TestFixtures runs each analyzer over its fixture package and checks
-// the findings against the // want comments: every expectation must be
-// met, and nothing beyond the expectations may fire.
+// the active findings against the // want comments: every expectation
+// must be met, nothing beyond the expectations may fire, fixture
+// suppressions must be well-formed, must absorb their finding (pinning
+// false-positive behavior), and must not be stale.
 func TestFixtures(t *testing.T) {
 	cases := []struct {
 		dir      string
@@ -64,6 +66,9 @@ func TestFixtures(t *testing.T) {
 		{"sentinelwrap", SentinelWrap},
 		{"timeoutprop", TimeoutProp},
 		{"telemetrytag", TelemetryTag},
+		{"accesspurity", AccessPurity},
+		{"killpointcover", KillpointCover},
+		{"atomicmix", AtomicMix},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
@@ -72,7 +77,14 @@ func TestFixtures(t *testing.T) {
 			if len(wants) == 0 {
 				t.Fatalf("fixture %s declares no expectations", tc.dir)
 			}
-			diags := Run(pkg, []*Analyzer{tc.analyzer})
+			sups, bad := CollectSuppressions(pkg)
+			for _, d := range bad {
+				t.Errorf("malformed fixture suppression: %s", d)
+			}
+			diags, _, stale := ApplySuppressions(Run(pkg, []*Analyzer{tc.analyzer}), sups)
+			for _, s := range stale {
+				t.Errorf("stale fixture suppression at %s: %s %s", s.Pos, s.Analyzer, s.Reason)
+			}
 
 			matched := make(map[int]bool)
 			for _, d := range diags {

@@ -1,0 +1,114 @@
+package analysis
+
+// atomicmix flags struct fields accessed through sync/atomic in one
+// place and by plain load/store in another. A field is either always
+// atomic or always under a lock; mixing the two disciplines is a data
+// race the race detector only finds if both sides happen to execute in
+// a test. The kernel's own counters migrated to typed atomics
+// (atomic.Int64/atomic.Bool), which make the mix impossible by
+// construction — this analyzer covers the remaining pattern, where
+// address-taken atomics (atomic.AddInt64(&s.n, 1)) keep the field's
+// plain type and nothing stops a bare s.n++ elsewhere.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags fields accessed both atomically and by plain
+// load/store.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a struct field accessed via sync/atomic must not also be accessed by plain load/store",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	// Pass 1: fields whose address is taken by a sync/atomic call.
+	atomicFields := make(map[*types.Var]token.Pos) // field -> first atomic site
+	atomicSels := make(map[*ast.SelectorExpr]bool) // selectors inside those calls
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				fv := fieldVarOf(pass.Info, sel)
+				if fv == nil {
+					continue
+				}
+				atomicSels[sel] = true
+				if _, seen := atomicFields[fv]; !seen {
+					atomicFields[fv] = sel.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	// Pass 2: any other selector reaching one of those fields is a
+	// plain access. Composite-literal keyed initialization (S{n: 0})
+	// never forms a selector and is naturally exempt — initialization
+	// before the value is shared is not an access under contention.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSels[sel] {
+				return true
+			}
+			fv := fieldVarOf(pass.Info, sel)
+			if fv == nil {
+				return true
+			}
+			at, isAtomic := atomicFields[fv]
+			if !isAtomic {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"field %s is accessed atomically (at %s) but by plain load/store here; every access must go through sync/atomic",
+				fv.Name(), pass.Fset.Position(at))
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports whether the call invokes a sync/atomic
+// package-level function.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// fieldVarOf resolves a selector to the struct field it reads, or nil
+// when the selector is a method, package member or non-field.
+func fieldVarOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	return v
+}

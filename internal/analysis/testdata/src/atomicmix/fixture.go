@@ -1,0 +1,59 @@
+// Package atomicmix exercises the atomicmix analyzer: a field touched
+// through sync/atomic anywhere must be touched through sync/atomic
+// everywhere; single-discipline fields, typed atomics and keyed
+// initialization stay silent.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	loads int64
+	plain int64
+	typed atomic.Int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) mixed() int64 {
+	c.hits++      // want "field hits is accessed atomically"
+	return c.hits // want "field hits is accessed atomically"
+}
+
+// loads is atomic-only and clean.
+func (c *counter) readLoads() int64 {
+	return atomic.LoadInt64(&c.loads)
+}
+
+// plain is plain-only and clean.
+func (c *counter) bumpPlain() {
+	c.plain++
+}
+
+// A typed atomic makes the mix impossible by construction; out of
+// scope.
+func (c *counter) bumpTyped() {
+	c.typed.Add(1)
+}
+
+// Keyed initialization before the value is shared is not an access
+// under contention and does not fire.
+func fresh() *counter {
+	return &counter{hits: 0}
+}
+
+type gauge struct {
+	n int64
+}
+
+func (g *gauge) set(v int64) {
+	atomic.StoreInt64(&g.n, v)
+}
+
+// snapshot is a reasoned, suppressed exception.
+func (g *gauge) snapshot() int64 {
+	//edenvet:ignore atomicmix fixture: pins that a reasoned suppression absorbs the finding
+	return g.n
+}

@@ -1,0 +1,79 @@
+// Package killpointcover exercises the killpointcover analyzer: store
+// mutations in lifecycle roots must have a killpoint.Hit crossing both
+// before and after them; bracketed writes, reads, and non-root
+// functions stay silent.
+package killpointcover
+
+import (
+	"eden/internal/edenid"
+	"eden/internal/killpoint"
+	"eden/internal/store"
+)
+
+type sys struct {
+	st store.Store
+}
+
+// Checkpoint is fully bracketed and does not fire.
+func (s *sys) Checkpoint() error {
+	killpoint.Hit(killpoint.CheckpointPreSync)
+	if err := s.st.Put(store.Record{}); err != nil {
+		return err
+	}
+	killpoint.Hit(killpoint.CheckpointPostSync)
+	return nil
+}
+
+// Passivate writes with no crossing anywhere near it.
+func (s *sys) Passivate() {
+	_ = s.st.Put(store.Record{}) // want "store.Put in lifecycle path Passivate has no killpoint.Hit before or after it"
+}
+
+// Move hits before the commit but never after it.
+func (s *sys) Move() {
+	killpoint.Hit(killpoint.MovePreCommit)
+	_ = s.st.Delete(edenid.ID{}) // want "store.Delete in lifecycle path Move has no killpoint.Hit after it"
+}
+
+// moveObject brackets a helper's write: splicing the callee stream
+// keeps it covered.
+func (s *sys) moveObject() {
+	killpoint.Hit(killpoint.MovePreShip)
+	s.flush()
+	killpoint.Hit(killpoint.MovePostCommit)
+}
+
+// activate reaches the same helper with no crossings and exposes it.
+func (s *sys) activate() {
+	s.flush()
+}
+
+func (s *sys) flush() {
+	_ = s.st.Put(store.Record{}) // want "store.Put in lifecycle path activate has no killpoint.Hit before or after it"
+}
+
+// reap is not a lifecycle root; its writes are its callers' concern.
+func (s *sys) reap() {
+	_ = s.st.Delete(edenid.ID{})
+}
+
+// Reincarnate reads the store (not a mutation) and commits on a
+// goroutine; literals are inlined, so the bracket still holds.
+func (s *sys) Reincarnate() {
+	killpoint.Hit(killpoint.ReincarnatePreInstall)
+	_, _ = s.st.Get(edenid.ID{})
+	go func() {
+		_ = s.st.Put(store.Record{})
+	}()
+	killpoint.Hit(killpoint.ReincarnatePreInstall)
+}
+
+type reaper struct {
+	st store.Store
+}
+
+// Checkpoint on this type is a deliberate, reasoned exception.
+func (r *reaper) Checkpoint() {
+	//edenvet:ignore killpointcover fixture: pins that a reasoned suppression absorbs the finding
+	_ = r.st.Put(store.Record{})
+}

@@ -193,10 +193,28 @@ func NewRegistry() *Registry {
 }
 
 // Register installs a type manager. Registering a name twice is an
-// error (types are immutable once published).
+// error (types are immutable once published), and so is an operation
+// declaring ReadOnly: true alongside Access: AccessWrite — a
+// hand-built Operations map bypasses Op's validation, and the reader
+// pool and replica serving both trust these declarations completely.
+// The consistent pair is normalized the same way Op normalizes it.
+// (The accesspurity analyzer is the static mirror of this check.)
 func (r *Registry) Register(t *TypeManager) error {
 	if t == nil || t.Name == "" {
 		return fmt.Errorf("kernel: registering unnamed type")
+	}
+	for name, op := range t.Operations {
+		if op == nil {
+			return fmt.Errorf("kernel: type %q registers nil operation %q", t.Name, name)
+		}
+		if op.ReadOnly && op.Access == AccessWrite {
+			return fmt.Errorf("kernel: operation %q on type %q is ReadOnly but declares AccessWrite", name, t.Name)
+		}
+		if op.ReadOnly {
+			op.Access = AccessRead
+		} else if op.Access == AccessRead {
+			op.ReadOnly = true
+		}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -40,6 +40,49 @@ func TestRegistryRejectsDuplicatesAndNil(t *testing.T) {
 	}
 }
 
+func TestRegisterRejectsReadOnlyWriter(t *testing.T) {
+	// A hand-built Operations map bypasses Op's validation; Register
+	// must reject the same contradiction Op panics on, because the
+	// reader pool schedules purely on these declarations.
+	r := NewRegistry()
+	tm := NewType("contradiction")
+	tm.Operations["boom"] = &Operation{
+		Name:     "boom",
+		ReadOnly: true,
+		Access:   AccessWrite,
+		Handler:  func(c *Call) {},
+	}
+	if err := r.Register(tm); err == nil {
+		t.Fatal("Register accepted a ReadOnly operation declaring AccessWrite")
+	}
+	if _, err := r.Lookup("contradiction"); err == nil {
+		t.Error("rejected type was installed anyway")
+	}
+
+	// A nil operation in the map is a registration error, not a later
+	// dispatch panic.
+	nilOp := NewType("nil-op")
+	nilOp.Operations["ghost"] = nil
+	if err := r.Register(nilOp); err == nil {
+		t.Error("Register accepted a nil operation")
+	}
+
+	// The consistent pair is normalized exactly as Op normalizes it:
+	// ReadOnly implies AccessRead and vice versa.
+	ok := NewType("normalized")
+	ok.Operations["ro"] = &Operation{Name: "ro", ReadOnly: true, Handler: func(c *Call) {}}
+	ok.Operations["ar"] = &Operation{Name: "ar", Access: AccessRead, Handler: func(c *Call) {}}
+	if err := r.Register(ok); err != nil {
+		t.Fatal(err)
+	}
+	if got := ok.Operations["ro"].Access; got != AccessRead {
+		t.Errorf("ReadOnly op normalized to Access %v, want AccessRead", got)
+	}
+	if !ok.Operations["ar"].ReadOnly {
+		t.Error("AccessRead op not normalized to ReadOnly")
+	}
+}
+
 func TestRegistryNamesSorted(t *testing.T) {
 	r := NewRegistry()
 	for _, n := range []string{"zebra", "ant", "mole"} {
