@@ -80,6 +80,55 @@ func hotReadType() *eden.TypeManager {
 	return tm
 }
 
+// replBenchType is the replica-bench workload: a mutable object with a
+// hot AccessRead "scan" (per hotReadType) plus an exclusive "churn"
+// write that holds the object for ~2ms per call and checkpoints when
+// its argument asks — the duty-cycled writer that starves home reads
+// and gives checkpoint shadows something to be stale against.
+func replBenchType() *eden.TypeManager {
+	tm := eden.NewType("replbench")
+	tm.Op(eden.Operation{
+		Name:   "scan",
+		Access: eden.AccessRead,
+		Handler: func(c *eden.Call) {
+			var n int
+			c.Self().View(func(r *eden.Representation) {
+				b, _ := r.Data("blob")
+				n = len(b)
+				time.Sleep(hotReadWork)
+			})
+			c.Return([]byte{byte(n), byte(n >> 8)})
+		},
+	})
+	tm.Op(eden.Operation{
+		Name:   "churn",
+		Access: eden.AccessWrite,
+		Handler: func(c *eden.Call) {
+			err := c.Self().Update(func(r *eden.Representation) error {
+				b, _ := r.Data("blob")
+				if len(b) > 0 {
+					b[0]++
+					r.SetData("blob", b)
+				}
+				return nil
+			})
+			if err != nil {
+				c.Fail("churn: %v", err)
+				return
+			}
+			// Hold write exclusivity for the work period: queued home
+			// reads wait it out (writer preference), replica reads don't.
+			time.Sleep(3 * time.Millisecond)
+			if len(c.Data) > 0 && c.Data[0] == 1 {
+				if err := c.Self().Checkpoint(); err != nil {
+					c.Fail("checkpoint: %v", err)
+				}
+			}
+		},
+	})
+	return tm
+}
+
 // measureOnce runs every scenario once, in order, each on a fresh
 // system with telemetry enabled.
 func measureOnce() ([]BenchResult, error) {
@@ -120,6 +169,12 @@ func measureOnce() ([]BenchResult, error) {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
 	results = append(results, ckpt)
+
+	repl, err := benchReplicaRead(2400, 8)
+	if err != nil {
+		return nil, fmt.Errorf("replica read: %w", err)
+	}
+	results = append(results, repl...)
 
 	return results, nil
 }
@@ -189,6 +244,9 @@ func runBenchJSON(rev, out, baseline string, tolerance float64, runs int) error 
 			time.Duration(r.P50Nanos), time.Duration(r.P95Nanos), time.Duration(r.P99Nanos))
 	}
 
+	if err := checkReplicaWin(report.Results); err != nil {
+		return err
+	}
 	if baseline != "" {
 		return compareBaseline(report, baseline, tolerance)
 	}
@@ -445,6 +503,221 @@ func benchCheckpoint(ops int) (BenchResult, error) {
 		}
 	}
 	return result("checkpoint", ops, time.Since(start), n.Telemetry(), "kernel.checkpoint.latency")
+}
+
+// benchReplicaRead measures the replication tentpole: stale-tolerant
+// reads of a hot *mutable* object served from checkpoint shadows at
+// its checksites, versus the identical read load forced to the
+// write-contended home. Three kernels over real TCP loopback: node 1
+// is the home and runs a duty-cycled writer (an exclusive ~2ms
+// "churn" per cycle with a short gap, checkpointing every fourth
+// write so the shadows track the object); nodes 2 and 3 are
+// checkpoint-serving checksites hosting `readers` concurrent readers
+// between them. The home-only comparator (invoke.read.home8) runs
+// with AllowReplica off, so reads queue behind the writer's holds;
+// the replica scenario (invoke.read.replica) serves from local
+// shadows and never touches the home. checkReplicaWin gates the
+// ratio between the two.
+func benchReplicaRead(ops, readers int) ([]BenchResult, error) {
+	reg := kernel.NewRegistry()
+	if err := reg.Register(replBenchType()); err != nil {
+		return nil, err
+	}
+	trs := make([]*transport.TCP, 3)
+	for i := range trs {
+		tr, err := transport.NewTCP(uint32(i+1), "127.0.0.1:0")
+		if err != nil {
+			for _, prev := range trs[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		trs[i] = tr
+	}
+	for i, tr := range trs {
+		for j, peer := range trs {
+			if i != j {
+				tr.AddPeer(uint32(j+1), peer.Addr())
+			}
+		}
+	}
+	tel := telemetry.New()
+	trs[1].SetTelemetry(tel)
+
+	cfgHome := kernel.DefaultConfig(1, "bench-home")
+	kh := kernel.New(cfgHome, trs[0], reg, store.NewMemory())
+	defer kh.Close()
+	kcs := make([]*kernel.Kernel, 2)
+	for i := range kcs {
+		cfg := kernel.DefaultConfig(uint32(i+2), fmt.Sprintf("bench-checksite-%d", i+2))
+		cfg.ReplicaServe = true
+		if i == 0 {
+			cfg.Telemetry = tel
+		}
+		kcs[i] = kernel.New(cfg, trs[i+1], reg, store.NewMemory())
+		defer kcs[i].Close()
+	}
+
+	cap, err := kh.Create("replbench", &kernel.CreateOptions{
+		Checksite: &kernel.ChecksiteSpec{Level: kernel.RelReplicated, Sites: []uint32{2, 3}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	obj, err := kh.Object(cap.ID())
+	if err != nil {
+		return nil, err
+	}
+	if err := obj.Update(func(r *segment.Representation) error {
+		r.SetData("blob", make([]byte, 4096))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// Seed the checksites so shadows exist before the first read.
+	if err := obj.Checkpoint(); err != nil {
+		return nil, err
+	}
+
+	// Duty-cycled writer: hold the object exclusively for the churn
+	// period, leave a short admission gap, checkpoint every fourth
+	// write. Home reads only complete inside the gaps; replica reads
+	// don't care.
+	opts := &kernel.InvokeOptions{Timeout: 30 * time.Second}
+	stop := make(chan struct{})
+	writerErr := make(chan error, 1)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		arg := []byte{0}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%4 == 3 {
+				arg[0] = 1
+			} else {
+				arg[0] = 0
+			}
+			if _, err := kh.Invoke(cap, "churn", arg, nil, opts); err != nil {
+				select {
+				case writerErr <- err:
+				default:
+				}
+				return
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+	stopWriter := func() error {
+		close(stop)
+		writerWG.Wait()
+		select {
+		case err := <-writerErr:
+			return fmt.Errorf("writer: %w", err)
+		default:
+			return nil
+		}
+	}
+
+	// measure drives the read load: `readers` goroutines split across
+	// the two checksite kernels, each looping "scan" with the given
+	// replica tolerance.
+	measure := func(allowReplica bool) (time.Duration, error) {
+		iopts := &kernel.InvokeOptions{Timeout: 30 * time.Second, AllowReplica: allowReplica}
+		// Warm each checksite's path (shadow materialization or
+		// location hint + TCP connection) outside the timed region.
+		for _, kc := range kcs {
+			if _, err := kc.Invoke(cap, "scan", nil, nil, iopts); err != nil {
+				return 0, err
+			}
+		}
+		perReader := ops / readers
+		errs := make(chan error, readers)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < readers; w++ {
+			wg.Add(1)
+			go func(kc *kernel.Kernel) {
+				defer wg.Done()
+				for i := 0; i < perReader; i++ {
+					if _, err := kc.Invoke(cap, "scan", nil, nil, iopts); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(kcs[w%len(kcs)])
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		select {
+		case err := <-errs:
+			return 0, fmt.Errorf("reader: %w", err)
+		default:
+		}
+		return elapsed, nil
+	}
+
+	perReader := ops / readers
+	measured := perReader * readers
+
+	homeElapsed, err := measure(false)
+	if err != nil {
+		stopWriter()
+		return nil, fmt.Errorf("home-only read: %w", err)
+	}
+	replElapsed, err := measure(true)
+	if err != nil {
+		stopWriter()
+		return nil, fmt.Errorf("replica read: %w", err)
+	}
+	if err := stopWriter(); err != nil {
+		return nil, err
+	}
+
+	home, err := result(fmt.Sprintf("invoke.read.home%d", readers), measured, homeElapsed, tel, "kernel.invoke.remote.latency")
+	if err != nil {
+		return nil, err
+	}
+	repl, err := result("invoke.read.replica", measured, replElapsed, tel, "kernel.replica.read.latency")
+	if err != nil {
+		return nil, err
+	}
+	return []BenchResult{home, repl}, nil
+}
+
+// replicaWinFloor is the minimum ratio of replica-served read
+// throughput over home-only read throughput the bench gate accepts:
+// the replication tentpole must buy at least a 3x read win on a hot
+// mutable object or CI fails.
+const replicaWinFloor = 3.0
+
+// checkReplicaWin enforces the replica read multiplier itself — not
+// just each scenario's absolute throughput — so the replica path
+// cannot quietly degrade into "barely better than asking the home".
+func checkReplicaWin(results []BenchResult) error {
+	byName := make(map[string]BenchResult, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	repl, okR := byName["invoke.read.replica"]
+	home, okH := byName["invoke.read.home8"]
+	if !okR || !okH {
+		return fmt.Errorf("replica win: missing scenario (replica=%v home8=%v)", okR, okH)
+	}
+	if home.OpsPerSec <= 0 {
+		return fmt.Errorf("replica win: home8 measured %.0f ops/sec", home.OpsPerSec)
+	}
+	ratio := repl.OpsPerSec / home.OpsPerSec
+	if ratio < replicaWinFloor {
+		return fmt.Errorf("replica win: %.2fx (replica %.0f vs home %.0f ops/sec) is below the %.1fx floor",
+			ratio, repl.OpsPerSec, home.OpsPerSec, replicaWinFloor)
+	}
+	fmt.Printf("replica read win: %.2fx over home-only reads (floor %.1fx)\n", ratio, replicaWinFloor)
+	return nil
 }
 
 // compareBaseline fails on any op class whose throughput fell more

@@ -33,6 +33,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"eden/internal/capability"
 	"eden/internal/editor"
@@ -60,6 +61,8 @@ func main() {
 	dialTimeout := flag.Duration("dial-timeout", 0, "bound on one TCP dial attempt to a peer (0 = transport default)")
 	redialBackoff := flag.Duration("redial-backoff", 0, "initial pause after a failed dial, doubling with jitter per failure (0 = transport default)")
 	readers := flag.Int("readers", 0, "per-object reader pool: concurrent read-only processes of one object (0 = kernel default)")
+	replicas := flag.Bool("replicas", false, "serve stale-tolerant reads from checkpoint shadows of objects this node backs up")
+	recoverGrace := flag.Duration("recover-grace", 10*time.Second, "refuse failure-recovery promotion of a backed-up object while its home shipped a checkpoint (or this node booted) within this window; 0 promotes immediately")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the fault-injection schedule (0 = faultstore default); faults only fire with a fault probability or -fault-sync-lie set")
 	faultFail := flag.Float64("fault-fail-prob", 0, "probability a store operation fails with an injected media error")
 	faultDelay := flag.Float64("fault-delay-prob", 0, "probability a store operation is delayed")
@@ -145,20 +148,28 @@ func main() {
 	}
 	cfg := kernel.DefaultConfig(uint32(*node), *name)
 	cfg.ReaderPool = *readers
+	cfg.ReplicaServe = *replicas
+	cfg.RecoverGrace = *recoverGrace
 	if tel != nil {
 		cfg.Telemetry = tel
 		tr.SetTelemetry(tel)
-		addr, err := serveMetrics(*metrics, tel)
-		if err != nil {
-			fatal("metrics: %v", err)
-		}
-		fmt.Printf("telemetry on http://%s/metrics (traces at /trace)\n", addr)
 	}
 	k := kernel.New(cfg, tr, reg, st)
 	defer k.Close()
+	if *replicas {
+		fmt.Println("replica serving enabled: stale-tolerant reads served from checkpoint shadows")
+	}
+	if tel != nil {
+		addr, err := serveMetrics(*metrics, tel, k)
+		if err != nil {
+			fatal("metrics: %v", err)
+		}
+		fmt.Printf("telemetry on http://%s/metrics (traces at /trace, replicas at /replicas)\n", addr)
+	}
 
 	fmt.Printf("%s listening on %s; peers: %v\n", *name, tr.Addr(), tr.Peers())
-	fmt.Println(`commands: create <type> | invoke <cap> <op> [hexdata] | types | ls |
+	fmt.Println(`commands: create <type> | invoke <cap> <op> [hexdata] | rinvoke <cap> <op> [hexdata] |
+          checksite <cap> <local|remote|replicated> [site,...] | types | ls |
           checkpoint <cap> | passivate <cap> | move <cap> <node> | stats |
           describe <cap> | show <cap> | quit`)
 	console(k)
@@ -172,8 +183,10 @@ func fatal(format string, args ...interface{}) {
 // serveMetrics exposes the node's telemetry registry over HTTP in the
 // expvar style: GET /metrics returns the full snapshot as JSON, GET
 // /trace the recent invocation spans (optionally ?trace=<id> for one
-// invocation). It returns the bound address.
-func serveMetrics(addr string, tel *telemetry.Registry) (string, error) {
+// invocation), GET /replicas the node's replica-serving state (one
+// entry per backed-up object: home, serving floor, live shadow). It
+// returns the bound address.
+func serveMetrics(addr string, tel *telemetry.Registry, k *kernel.Kernel) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
@@ -184,6 +197,12 @@ func serveMetrics(addr string, tel *telemetry.Registry) (string, error) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(tel.Snapshot())
+	})
+	mux.HandleFunc("/replicas", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(k.Replicas())
 	})
 	mux.HandleFunc("/killpoints", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -337,9 +356,12 @@ func console(k *kernel.Kernel) {
 				continue
 			}
 			fmt.Printf("  cap %s\n", hex.EncodeToString(cap.Encode(nil)))
-		case "invoke":
+		// rinvoke is invoke with replica tolerance: the read may be
+		// served from a checkpoint shadow at a checksite, trading
+		// currency for latency and availability.
+		case "invoke", "rinvoke":
 			if len(fields) < 3 {
-				fmt.Println("  usage: invoke <cap> <op> [hexdata]")
+				fmt.Printf("  usage: %s <cap> <op> [hexdata]\n", fields[0])
 				continue
 			}
 			cap, err := parseCap(fields[1])
@@ -355,8 +377,10 @@ func console(k *kernel.Kernel) {
 					continue
 				}
 			}
-			rep, err := k.Invoke(cap, fields[2], data, nil,
-				&kernel.InvokeOptions{Timeout: k.Config().DefaultTimeout})
+			rep, err := k.Invoke(cap, fields[2], data, nil, &kernel.InvokeOptions{
+				Timeout:      k.Config().DefaultTimeout,
+				AllowReplica: fields[0] == "rinvoke",
+			})
 			if err != nil {
 				fmt.Println(" ", err)
 				continue
@@ -365,6 +389,46 @@ func console(k *kernel.Kernel) {
 			for _, c := range rep.Caps {
 				fmt.Printf("  cap %s\n", hex.EncodeToString(c.Encode(nil)))
 			}
+		case "checksite":
+			if len(fields) < 3 {
+				fmt.Println("  usage: checksite <cap> <local|remote|replicated> [site,...]")
+				continue
+			}
+			var level kernel.Reliability
+			switch fields[2] {
+			case "local":
+				level = kernel.RelLocal
+			case "remote":
+				level = kernel.RelRemote
+			case "replicated":
+				level = kernel.RelReplicated
+			default:
+				fmt.Println("  bad level:", fields[2])
+				continue
+			}
+			var sites []uint32
+			if len(fields) > 3 {
+				ok := true
+				for _, s := range strings.Split(fields[3], ",") {
+					n, err := strconv.ParseUint(strings.TrimSpace(s), 10, 32)
+					if err != nil {
+						fmt.Println("  bad site number:", err)
+						ok = false
+						break
+					}
+					sites = append(sites, uint32(n))
+				}
+				if !ok {
+					continue
+				}
+			}
+			withObject(k, fields[1], func(o *kernel.Object) {
+				if err := o.SetChecksite(level, sites...); err != nil {
+					fmt.Println(" ", err)
+				} else {
+					fmt.Printf("  checksite %s %v\n", fields[2], sites)
+				}
+			})
 		case "checkpoint":
 			if len(fields) != 2 {
 				fmt.Println("  usage: checkpoint <cap>")

@@ -63,6 +63,20 @@ func register(tm *kernel.TypeManager) {
 		},
 	})
 
+	// A nominally-read handler that checkpoints. Replica serving makes
+	// this declaration load-bearing across the mesh: an AccessRead op
+	// is eligible to run on a checksite's frozen checkpoint shadow,
+	// where a checkpoint would snapshot stale state over the wire. The
+	// kernel's replica gate refuses it at runtime; the analyzer refuses
+	// it at review time.
+	tm.Op(kernel.Operation{
+		Name:   "bad-checkpointing-read",
+		Access: kernel.AccessRead,
+		Handler: func(c *kernel.Call) {
+			_ = c.Self().Checkpoint() // want "calls (*kernel.Object).Checkpoint"
+		},
+	})
+
 	// A named (not literal) handler is resolved and summarized.
 	tm.Op(kernel.Operation{
 		Name:    "bad-named",

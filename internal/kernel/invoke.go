@@ -174,6 +174,15 @@ func (k *Kernel) invoke(req msg.InvokeReq, allowReplica bool, deadline time.Time
 				attempt = time.Second
 			}
 		}
+		// The stale-tolerance flag travels with the request so the
+		// serving node knows whether a checkpoint shadow qualifies;
+		// re-derived per attempt because a StatusMoved bounce clears
+		// allowReplica for the rest of the chase.
+		if allowReplica {
+			req.Flags |= msg.FlagAllowReplica
+		} else {
+			req.Flags &^= msg.FlagAllowReplica
+		}
 		rep, err := k.invokeRemote(loc.Node, corr, trace, req, attempt)
 		if err != nil {
 			// The hinted node may be stale or down; drop the hint and
@@ -235,9 +244,10 @@ func (k *Kernel) tryLocal(req msg.InvokeReq, allowReplica, remoteOrigin bool, ti
 	if allowReplica {
 		replica = k.replicas[id]
 	}
-	isBackup := k.backups[id]
+	_, isBackup := k.backups[id]
 	k.mu.Unlock()
 
+	var shadowServe bool
 	switch {
 	case isActive:
 	case isFwd:
@@ -253,10 +263,20 @@ func (k *Kernel) tryLocal(req msg.InvokeReq, allowReplica, remoteOrigin bool, ti
 		return msg.InvokeRep{}, false, nil
 	case replica != nil:
 		obj = replica
+		shadowServe = replica.shadow
 	default:
 		// Passive here? Only if our store holds the object's home
 		// record (not a backup held for another node).
 		if _, err := k.store.Get(id); err != nil || isBackup {
+			// A backup record may still serve a stale-tolerant read as
+			// a checkpoint shadow when this node is a checksite.
+			if isBackup && allowReplica && k.cfg.ReplicaServe {
+				if sh := k.replicaShadow(id); sh != nil {
+					obj = sh
+					shadowServe = true
+					break
+				}
+			}
 			return msg.InvokeRep{}, false, nil
 		}
 		var aerr error
@@ -272,7 +292,22 @@ func (k *Kernel) tryLocal(req msg.InvokeReq, allowReplica, remoteOrigin bool, ti
 	if !remoteOrigin {
 		k.tel.invLocal.Inc()
 	}
+	var start time.Time
+	if shadowServe {
+		start = k.tel.now()
+	}
 	rep, err := k.dispatch(obj, req, timeout)
+	if shadowServe && err == nil {
+		switch rep.Status {
+		case msg.StatusOK:
+			k.tel.replicaHit.Inc()
+			k.tel.replicaReadLat.ObserveSince(start)
+		case msg.StatusMoved:
+			// The shadow refused the call (non-read op, or retired
+			// under us) and bounced it to the home.
+			k.tel.replicaMiss.Inc()
+		}
+	}
 	return rep, true, err
 }
 
@@ -348,6 +383,14 @@ func (k *Kernel) dispatch(obj *Object, req msg.InvokeReq, timeout time.Duration)
 // between lookup and enqueue: the object may have moved, passivated,
 // or crashed.
 func (k *Kernel) retryAfterDown(obj *Object, req msg.InvokeReq) (msg.InvokeRep, error) {
+	// An incarnation retired toward a live home (a move, or a shadow
+	// superseded by a fresher checkpoint) records the destination.
+	obj.sched.Lock()
+	moved := obj.movedTo
+	obj.sched.Unlock()
+	if moved != 0 {
+		return movedReply(moved), nil
+	}
 	k.mu.Lock()
 	fwd, isFwd := k.forwards[obj.id]
 	k.mu.Unlock()
@@ -475,11 +518,13 @@ func (k *Kernel) serveInvoke(env msg.Envelope) {
 	})
 }
 
-// serveLocally is tryLocal for requests arriving over the wire: a
-// remote invoker may be sent here for a replica, so replicas always
-// qualify.
+// serveLocally is tryLocal for requests arriving over the wire. The
+// request's own flag decides whether a replica or checkpoint shadow
+// qualifies: an invoker that demands the home (after a StatusMoved
+// bounce, or because it never opted into stale reads) clears the flag,
+// and serving a shadow anyway would bounce it here forever.
 func (k *Kernel) serveLocally(req msg.InvokeReq, timeout time.Duration) (msg.InvokeRep, bool, error) {
-	return k.tryLocal(req, true, true, timeout)
+	return k.tryLocal(req, req.AllowReplica(), true, timeout)
 }
 
 // Pending is an asynchronous invocation in flight. "Asynchronous

@@ -53,6 +53,28 @@ type Config struct {
 	// representation. 0 uses DefaultReaderPool; 1 serializes reads.
 	// Mutating (AccessWrite) invocations always run exclusively.
 	ReaderPool int
+	// ReplicaServe lets this node serve stale-tolerant AccessRead
+	// invocations of other nodes' mutable objects from checkpoint
+	// records it holds as a checksite: the record is reincarnated into
+	// a read-only shadow, never admitted to the write path, and retired
+	// when an invalidation raises the serving floor past it.
+	ReplicaServe bool
+	// AdmissionQueue caps each object's reader and writer admission
+	// queues. Calls arriving past the cap are shed immediately with
+	// StatusTimeout (like the transport's bounded send queues, the
+	// queue rejects early rather than growing without bound). 0 uses
+	// DefaultAdmissionQueue.
+	AdmissionQueue int
+	// RecoverGrace fences failure-recovery promotion: a checksite
+	// refuses to claim a backed-up object as its new home while the
+	// object's real home shipped a checkpoint within this window (or
+	// while this node booted within it, since ship times are not
+	// persisted). Checkpoint ships double as home heartbeats, so a
+	// transient locate timeout cannot split an object between a live
+	// home and a promoted backup — a hazard ReplicaServe magnifies,
+	// because every checksite then advertises its records. Zero
+	// disables the fence (recovery claims are immediate).
+	RecoverGrace time.Duration
 	// DefaultTimeout bounds invocations that pass no timeout.
 	DefaultTimeout time.Duration
 	// Telemetry, when non-nil, receives the kernel's metrics and
@@ -159,7 +181,10 @@ type Kernel struct {
 	forwards map[edenid.ID]uint32 // moved-away objects -> new home
 	sites    map[edenid.ID]checksitePolicy
 	shipped  map[edenid.ID]map[uint32]uint64 // checkpoint version last acked per remote site
-	backups  map[edenid.ID]bool              // records held for other nodes' objects
+	backups  map[edenid.ID]uint32            // records held for other nodes' objects -> home node
+	minServe map[edenid.ID]uint64            // replica serving floor: no shadow below this version
+	lastShip map[edenid.ID]time.Time         // last accepted checkpoint ship (home heartbeat)
+	boot     time.Time                       // kernel start, the lastShip stand-in for unseen objects
 	memInUse int64
 	closed   bool
 
@@ -192,12 +217,19 @@ type Kernel struct {
 // read-only invocation processes when Config.ReaderPool is zero.
 const DefaultReaderPool = 8
 
+// DefaultAdmissionQueue is the per-object cap on queued reader and
+// writer calls when Config.AdmissionQueue is zero.
+const DefaultAdmissionQueue = 1024
+
 func New(cfg Config, tr transport.Transport, types *Registry, st store.Store) *Kernel {
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 5 * time.Second
 	}
 	if cfg.ReaderPool <= 0 {
 		cfg.ReaderPool = DefaultReaderPool
+	}
+	if cfg.AdmissionQueue <= 0 {
+		cfg.AdmissionQueue = DefaultAdmissionQueue
 	}
 	if st == nil {
 		st = store.NewMemory()
@@ -217,7 +249,10 @@ func New(cfg Config, tr transport.Transport, types *Registry, st store.Store) *K
 		forwards: make(map[edenid.ID]uint32),
 		sites:    make(map[edenid.ID]checksitePolicy),
 		shipped:  make(map[edenid.ID]map[uint32]uint64),
-		backups:  make(map[edenid.ID]bool),
+		backups:  make(map[edenid.ID]uint32),
+		minServe: make(map[edenid.ID]uint64),
+		lastShip: make(map[edenid.ID]time.Time),
+		boot:     time.Now(),
 		pend:     make(map[uint64]chan msg.InvokeRep),
 		served:   make(map[servedKey]*servedEntry),
 	}
@@ -229,6 +264,22 @@ func New(cfg Config, tr transport.Transport, types *Registry, st store.Store) *K
 	// restarted node's fresh ids from colliding with its previous
 	// incarnation's entries (which would replay stale replies).
 	k.corr.Store(uint64(time.Now().UnixNano()))
+	// Rebuild the backup registry from durable records. Without this a
+	// restarted checksite cannot tell backups it holds for other homes
+	// from its own checkpoints, and would answer locate queries as
+	// those objects' home while the real home is alive. The record's
+	// version is the last checkpoint this site acked before it went
+	// down, so it re-anchors the replica serving floor too.
+	if ids, err := st.List(); err == nil {
+		for _, id := range ids {
+			rec, err := st.Get(id)
+			if err != nil || !rec.Backup {
+				continue
+			}
+			k.backups[id] = rec.Home
+			k.minServe[id] = rec.Version
+		}
+	}
 	k.loc = locator.New(cfg.Node, tr.Send, k.hostCheck)
 	tr.SetHandler(k.handleFrame)
 	return k
@@ -292,7 +343,9 @@ func (k *Kernel) ActiveObjects() []edenid.ID {
 
 // hostCheck answers the locator's question: is this node the object's
 // home (active here, passive-with-checkpoint here, or — during
-// recovery — backed up here), or does it cache a frozen replica?
+// recovery — backed up here), or can it serve reads — from a cached
+// frozen replica, or (with ReplicaServe) from a checkpoint record held
+// as a checksite backup?
 func (k *Kernel) hostCheck(id edenid.ID, recover bool) (home, replica bool) {
 	k.mu.Lock()
 	if k.closed {
@@ -304,27 +357,52 @@ func (k *Kernel) hostCheck(id edenid.ID, recover bool) (home, replica bool) {
 		return true, false
 	}
 	_, isReplica := k.replicas[id]
+	floor := k.minServe[id]
 	if _, movedAway := k.forwards[id]; movedAway {
 		k.mu.Unlock()
 		return false, isReplica
 	}
-	isBackup := k.backups[id]
+	_, isBackup := k.backups[id]
 	k.mu.Unlock()
 	// A passive object is homed where its checkpoint lives — unless
 	// that record is a backup held for another node, in which case it
 	// only counts during recovery.
-	if _, err := k.store.Get(id); err == nil {
+	if rec, err := k.store.Get(id); err == nil {
 		if !isBackup {
 			return true, isReplica
 		}
 		if recover {
 			// Claiming the object during failure recovery promotes the
 			// backup: this node is now the home and will reincarnate
-			// the object on the next invocation.
+			// the object on the next invocation. RecoverGrace fences
+			// the claim: checkpoint ships double as home heartbeats,
+			// so a recent ship (or a recent boot — ship times are not
+			// persisted) means the home is likely alive and the
+			// "failure" was a transient locate timeout. Promoting then
+			// would split the object between a live home and this
+			// node; refuse, and fall through to advertise the record
+			// as a replica instead.
 			k.mu.Lock()
-			delete(k.backups, id)
+			fresh := false
+			if g := k.cfg.RecoverGrace; g > 0 {
+				hb, seen := k.lastShip[id]
+				if !seen {
+					hb = k.boot
+				}
+				fresh = time.Since(hb) < g
+			}
+			if !fresh {
+				delete(k.backups, id)
+				k.mu.Unlock()
+				return true, isReplica
+			}
 			k.mu.Unlock()
-			return true, isReplica
+		}
+		// A checksite backup above the invalidation floor is servable
+		// as a checkpoint shadow; advertise it so stale-tolerant reads
+		// are steered here.
+		if k.cfg.ReplicaServe && rec.Version >= floor {
+			isReplica = true
 		}
 	}
 	return false, isReplica
@@ -357,6 +435,8 @@ func (k *Kernel) handleFrame(env msg.Envelope) {
 		k.loc.HandleReply(env)
 	case msg.KindShip:
 		go k.serveShip(env)
+	case msg.KindInvalidate:
+		k.handleInvalidate(env)
 	case msg.KindHello:
 		// Reserved for membership; nothing to do yet.
 	}
@@ -584,7 +664,7 @@ func (k *Kernel) DebugObjectState(id edenid.ID) string {
 	_, active := k.active[id]
 	fwd, hasFwd := k.forwards[id]
 	_, replica := k.replicas[id]
-	backup := k.backups[id]
+	_, backup := k.backups[id]
 	k.mu.Unlock()
 	rec, err := k.store.Get(id)
 	stored := "no-record"

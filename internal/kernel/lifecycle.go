@@ -34,7 +34,7 @@ func (k *Kernel) activate(id edenid.ID) (*Object, error) {
 	// Recover → hostCheck) promotes the backup first, clearing the
 	// flag, after which activation is legitimate.
 	k.mu.Lock()
-	isBackup := k.backups[id]
+	_, isBackup := k.backups[id]
 	k.mu.Unlock()
 	if isBackup {
 		return nil, fmt.Errorf("%w: %v is a checksite backup (home may be alive)", ErrNoCheckpoint, id)
@@ -70,6 +70,7 @@ func (k *Kernel) activate(id edenid.ID) (*Object, error) {
 	}
 	k.mu.Lock()
 	delete(k.backups, id) // we are now this object's home
+	delete(k.lastShip, id)
 	k.mu.Unlock()
 	k.stReinc.Add(1)
 	return obj, nil
@@ -175,6 +176,7 @@ func (k *Kernel) writeCheckpoint(id edenid.ID, typeName string, ver uint64, froz
 		}
 	}
 	if policy.level == RelRemote || policy.level == RelReplicated {
+		var acked []uint32
 		for _, site := range policy.sites {
 			if site == k.cfg.Node {
 				if !writeLocal {
@@ -184,9 +186,21 @@ func (k *Kernel) writeCheckpoint(id edenid.ID, typeName string, ver uint64, froz
 				}
 				continue
 			}
-			if err := k.shipCheckpoint(site, full, partial, removed, ver); err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("kernel: checkpoint to site %d: %w", site, err)
+			if err := k.shipCheckpoint(site, full, partial, removed, ver); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("kernel: checkpoint to site %d: %w", site, err)
+				}
+				continue
 			}
+			acked = append(acked, site)
+		}
+		// Every acked site already raised its serving floor to ver when
+		// it acknowledged the ship; the broadcast retires shadows on
+		// lagging and ex-checksites and steers stale-tolerant readers
+		// at the sites that can serve this version. Local-only policies
+		// never broadcast — no remote site serves them.
+		if len(acked) > 0 {
+			k.broadcastInvalidate(id, ver, false, k.cfg.Node, acked)
 		}
 	}
 	return firstErr
@@ -270,6 +284,8 @@ func (o *Object) Destroy() error {
 	k.mu.Lock()
 	delete(k.sites, o.id)
 	delete(k.forwards, o.id)
+	delete(k.minServe, o.id)
+	delete(k.lastShip, o.id)
 	k.mu.Unlock()
 	k.loc.Forget(o.id)
 	if err := k.store.Delete(o.id); err != nil {
@@ -447,6 +463,11 @@ func (k *Kernel) moveObject(o *Object, to uint32) error {
 	k.loc.Forget(o.id)
 	k.loc.Learn(o.id, to, false)
 	k.stMoves.Add(1)
+	// The checksite policy does not travel with the move, so the new
+	// home will not refresh this home's checksites; the move broadcast
+	// disables their serving floors until a checkpoint from the new
+	// home arrives (see handleInvalidate).
+	k.broadcastInvalidate(o.id, ver, true, to, nil)
 	o.destroyActiveState(to)
 	// Crash boundary: the move is fully committed — a kill here must
 	// find the object serving at its new home.
@@ -533,15 +554,37 @@ func (k *Kernel) acceptShip(from uint32, ship msg.Ship) error {
 			baseRep.Merge(delta, ship.Removed)
 			repBytes = baseRep.Encode(nil)
 		}
-		rec := store.Record{Object: ship.Object, TypeName: ship.TypeName, Version: ship.Version, Frozen: ship.Frozen, Rep: repBytes}
+		rec := store.Record{Object: ship.Object, TypeName: ship.TypeName, Version: ship.Version,
+			Frozen: ship.Frozen, Backup: true, Home: from, Rep: repBytes}
 		if err := k.store.Put(rec); err != nil && !errors.Is(err, store.ErrStale) {
 			return err
 		}
+		var retire *Object
 		k.mu.Lock()
 		if _, isHome := k.active[ship.Object]; !isHome {
-			k.backups[ship.Object] = true
+			k.backups[ship.Object] = from
+			// The ship is also a home heartbeat: it fences recovery
+			// promotion for Config.RecoverGrace (see hostCheck).
+			k.lastShip[ship.Object] = time.Now()
+			// The ack we are about to send is the durability anchor of
+			// the staleness bound: once the home sees it, the writer's
+			// invocation may reply, and no read here may then serve an
+			// older version. Raising the floor before the ack (and
+			// before any reader can observe the new version) keeps that
+			// ordering; a floor disabled by a move re-enables, since the
+			// shipper has proven itself this object's live home.
+			if f := k.minServe[ship.Object]; f == floorDisabled || f < ship.Version {
+				k.minServe[ship.Object] = ship.Version
+			}
+			if old := k.replicas[ship.Object]; old != nil && old.shadow && old.version < ship.Version {
+				delete(k.replicas, ship.Object)
+				retire = old
+			}
 		}
 		k.mu.Unlock()
+		if retire != nil {
+			go retire.destroyActiveState(from)
+		}
 		return nil
 
 	case msg.ShipReplica:
@@ -605,6 +648,7 @@ func (k *Kernel) acceptShip(from uint32, ship msg.Ship) error {
 		}
 		k.mu.Lock()
 		delete(k.backups, ship.Object)
+		delete(k.lastShip, ship.Object)
 		// Any base tracking left from an earlier residency here is
 		// stale for the same reason the old home's is (see
 		// moveObject): the first checkpoint after arrival ships full.

@@ -62,9 +62,14 @@ type Object struct {
 
 	charged atomic.Int64 // bytes charged to the node's memory budget
 
-	// replica marks a frozen replica cached at this node; home then
-	// names the object's true home node.
+	// replica marks an incarnation serving for a remote home: a frozen
+	// replica cached here, or (shadow) a read-only reincarnation of the
+	// home's last checkpoint. home names the object's true home node.
+	// A shadow's version is fixed at construction — it never
+	// checkpoints — so the field may be read without mu once the
+	// shadow is published.
 	replica bool
+	shadow  bool
 	home    uint32
 
 	inbox    chan *callCtx
@@ -299,13 +304,21 @@ func (o *Object) coordinate() {
 		case c := <-o.inbox:
 			o.sched.Lock()
 			st := o.state
+			moved := o.movedTo
 			o.sched.Unlock()
 			switch st {
 			case stMoving:
 				cs.held = append(cs.held, c)
 			case stDown:
 				o.unqueue(c)
-				c.reply(msg.InvokeRep{Status: msg.StatusCrashed})
+				if moved != 0 {
+					// The incarnation was retired toward a live home
+					// (move, or a shadow superseded by a fresher
+					// checkpoint); bounce instead of reporting a crash.
+					c.reply(movedReply(moved))
+				} else {
+					c.reply(msg.InvokeRep{Status: msg.StatusCrashed})
+				}
 			default:
 				cs.arrive(c)
 			}
@@ -369,9 +382,14 @@ func (cs *coordState) arrive(c *callCtx) {
 	o.mu.RLock()
 	replica, frozen, home := o.replica, o.frozen, o.home
 	o.mu.RUnlock()
-	if replica && !op.ReadOnly {
-		// A cached replica serves only read-only operations; bounce
-		// the invoker to the home node.
+	if replica && (!op.ReadOnly || op.Access != AccessRead) {
+		// A replica serves only operations registered AccessRead: the
+		// declaration is what proves (statically, via accesspurity, and
+		// at registration via Register's normalization) that the
+		// handler cannot diverge the copy from the home's state. This
+		// runtime mirror of Register's ReadOnly/AccessWrite check also
+		// catches a contradictory Operation mutated after registration;
+		// everything else bounces to the home node.
 		o.unqueue(c)
 		c.reply(movedReply(home))
 		return
@@ -383,8 +401,16 @@ func (cs *coordState) arrive(c *callCtx) {
 	}
 	switch op.Access {
 	case AccessRead:
+		if len(cs.readQ) >= o.k.cfg.AdmissionQueue {
+			o.shedFull(c)
+			return
+		}
 		cs.readQ = append(cs.readQ, &schedCall{c: c, op: op})
 	case AccessWrite:
+		if len(cs.writeQ) >= o.k.cfg.AdmissionQueue {
+			o.shedFull(c)
+			return
+		}
 		cs.writeQ = append(cs.writeQ, &schedCall{c: c, op: op})
 	default:
 		cs.spawn(op, c, AccessShared)
@@ -466,6 +492,17 @@ func (cs *coordState) shedQueue(q []*schedCall, now time.Time) []*schedCall {
 func (o *Object) shed(c *callCtx) {
 	o.unqueue(c)
 	o.k.tel.admissionShed.Inc()
+	c.reply(msg.InvokeRep{Status: msg.StatusTimeout})
+}
+
+// shedFull rejects one call because the object's admission queue hit
+// Config.AdmissionQueue: the queue sheds at the door rather than
+// growing without bound, matching the transport's bounded send queues.
+// Counted under kernel.admission.queue.full (disjoint from
+// kernel.admission.shed, which counts deadline expiry).
+func (o *Object) shedFull(c *callCtx) {
+	o.unqueue(c)
+	o.k.tel.queueFull.Inc()
 	c.reply(msg.InvokeRep{Status: msg.StatusTimeout})
 }
 

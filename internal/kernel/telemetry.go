@@ -34,7 +34,14 @@ type kernelTel struct {
 
 	admissionShed  *telemetry.Counter // calls shed by admission before executing
 	admissionDepth *telemetry.Gauge   // calls waiting in admission (vproc + coordinator queues)
+	queueFull      *telemetry.Counter // calls shed because a per-object queue hit its cap
 	serveConc      *telemetry.Gauge   // invocation processes currently executing
+
+	replicaHit        *telemetry.Counter   // reads served from a checkpoint shadow
+	replicaMiss       *telemetry.Counter   // stale-tolerant reads this checksite could not serve
+	replicaStale      *telemetry.Counter   // refusals because the record sat below the invalidation floor
+	replicaInvalidate *telemetry.Counter   // invalidation frames processed
+	replicaReadLat    *telemetry.Histogram // dispatch latency of shadow-served reads
 }
 
 // Metric names, also documented in the README's Observability section.
@@ -54,7 +61,14 @@ const (
 	metricMemoryBytes     = "kernel.memory.bytes"
 	metricAdmissionShed   = "kernel.admission.shed"
 	metricAdmissionDepth  = "kernel.admission.queue.depth"
+	metricQueueFull       = "kernel.admission.queue.full"
 	metricServeConc       = "kernel.serve.concurrency"
+
+	metricReplicaHit        = "kernel.replica.hit"
+	metricReplicaMiss       = "kernel.replica.miss"
+	metricReplicaStale      = "kernel.replica.stale_serve"
+	metricReplicaInvalidate = "kernel.replica.invalidate"
+	metricReplicaReadLat    = "kernel.replica.read.latency"
 )
 
 func newKernelTel(reg *telemetry.Registry) kernelTel {
@@ -77,7 +91,14 @@ func newKernelTel(reg *telemetry.Registry) kernelTel {
 
 		admissionShed:  reg.Counter(metricAdmissionShed),
 		admissionDepth: reg.Gauge(metricAdmissionDepth),
+		queueFull:      reg.Counter(metricQueueFull),
 		serveConc:      reg.Gauge(metricServeConc),
+
+		replicaHit:        reg.Counter(metricReplicaHit),
+		replicaMiss:       reg.Counter(metricReplicaMiss),
+		replicaStale:      reg.Counter(metricReplicaStale),
+		replicaInvalidate: reg.Counter(metricReplicaInvalidate),
+		replicaReadLat:    reg.Histogram(metricReplicaReadLat),
 	}
 }
 

@@ -179,6 +179,34 @@ func (l *Locator) DropReplica(id edenid.ID, node uint32) {
 	l.mu.Unlock()
 }
 
+// SetReplicas replaces the object's replica hint set wholesale and
+// installs the home hint. Invalidation frames carry the authoritative
+// checksite list, so merging (Learn) would resurrect retired sites;
+// replacement is what keeps a move from leaving the old home's
+// checksites in the cache — the dual-home hazard.
+//
+//edenvet:ignore capleak the location service operates below the capability layer on pure names; rights play no part in location
+func (l *Locator) SetReplicas(id edenid.ID, home uint32, sites []uint32) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.hints[id]
+	if e == nil {
+		e = &hintEntry{replicas: make(map[uint32]bool)}
+		l.hints[id] = e
+	}
+	e.home = home
+	e.hasHome = true
+	if len(e.replicas) > 0 {
+		e.replicas = make(map[uint32]bool, len(sites))
+		l.invalidations.Add(1)
+	}
+	for _, s := range sites {
+		if s != home {
+			e.replicas[s] = true
+		}
+	}
+}
+
 // cached returns a cached location. When wantHome is true only the
 // home qualifies; otherwise a replica (preferring the local node, then
 // a random replica) is acceptable, and the home serves as fallback.

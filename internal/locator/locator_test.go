@@ -256,6 +256,52 @@ func TestDropReplica(t *testing.T) {
 	}
 }
 
+func TestSetReplicasReplacesSites(t *testing.T) {
+	f := newFixture(t, 1, 2, 3, 4)
+	id := gen.Next()
+	// Node 2 was a checksite once; an invalidation carrying the
+	// authoritative set {4} (home 3) must retire it — merging would
+	// leave reads steered at a site that no longer serves.
+	f.locs[1].Learn(id, 2, true)
+	f.locs[1].SetReplicas(id, 3, []uint32{4})
+	loc, ok := f.locs[1].cached(id, false)
+	if !ok || !loc.Replica || loc.Node != 4 {
+		t.Errorf("cached = %+v %v, want replica at node 4", loc, ok)
+	}
+	home, ok := f.locs[1].cached(id, true)
+	if !ok || home.Node != 3 {
+		t.Errorf("cached home = %+v, want node 3", home)
+	}
+	if st := f.locs[1].Stats(); st.Invalidations != 1 {
+		t.Errorf("stats = %+v, want 1 invalidation for the replaced set", st)
+	}
+}
+
+func TestSetReplicasExcludesHome(t *testing.T) {
+	f := newFixture(t, 1, 2)
+	id := gen.Next()
+	// A home that appears in its own site list (RelReplicated with a
+	// local site) must not register as a replica of itself.
+	f.locs[1].SetReplicas(id, 2, []uint32{2})
+	loc, ok := f.locs[1].cached(id, false)
+	if !ok || loc.Replica || loc.Node != 2 {
+		t.Errorf("cached = %+v %v, want home fallback at node 2", loc, ok)
+	}
+}
+
+func TestSetReplicasFreshEntryDoesNotCountInvalidation(t *testing.T) {
+	f := newFixture(t, 1, 2, 3)
+	id := gen.Next()
+	f.locs[1].SetReplicas(id, 2, []uint32{3})
+	if st := f.locs[1].Stats(); st.Invalidations != 0 {
+		t.Errorf("stats = %+v, want no invalidation installing into an empty entry", st)
+	}
+	loc, ok := f.locs[1].cached(id, false)
+	if !ok || !loc.Replica || loc.Node != 3 {
+		t.Errorf("cached = %+v %v, want replica at node 3", loc, ok)
+	}
+}
+
 func TestPartitionedHomeUnreachable(t *testing.T) {
 	f := newFixture(t, 1, 2)
 	id := gen.Next()

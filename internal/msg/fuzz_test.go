@@ -53,6 +53,7 @@ func FuzzDecodeInvokeReq(f *testing.F) {
 	f.Add(InvokeReq{
 		Target: fuzzSeedCap(), Operation: "ping", Data: []byte("d"),
 		Caps: capability.List{fuzzSeedCap()}, TimeoutNanos: 5e9, Hops: 2,
+		Flags: FlagAllowReplica,
 	}.Encode(nil))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := DecodeInvokeReq(data)
@@ -119,6 +120,34 @@ func FuzzDecodeLocateRep(f *testing.F) {
 		}
 		if r != again {
 			t.Fatalf("round trip changed answer: %+v != %+v", r, again)
+		}
+	})
+}
+
+func FuzzDecodeInvalidate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Invalidate{Object: edenid.NewGenerator(9).Next(), Home: 1, Version: 7}.Encode(nil))
+	f.Add(Invalidate{
+		Object: edenid.NewGenerator(9).Next(), Home: 3, Version: 1 << 40,
+		Move: true, Sites: []uint32{2, 5},
+	}.Encode(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		iv, err := DecodeInvalidate(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeInvalidate(iv.Encode(nil))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(iv.Sites) == 0 {
+			iv.Sites = nil
+		}
+		if len(again.Sites) == 0 {
+			again.Sites = nil
+		}
+		if !reflect.DeepEqual(iv, again) {
+			t.Fatalf("round trip changed invalidation: %+v != %+v", iv, again)
 		}
 	})
 }

@@ -47,6 +47,10 @@ const (
 	KindShip
 	// KindHello announces a node to its peers when it joins.
 	KindHello
+	// KindInvalidate tells checkpoint-holding nodes that their record
+	// of an object changed: a newer checkpoint was acknowledged (raise
+	// the serving floor) or the object moved (stop serving entirely).
+	KindInvalidate
 )
 
 // String names the kind for diagnostics.
@@ -64,6 +68,8 @@ func (k Kind) String() string {
 		return "ship"
 	case KindHello:
 		return "hello"
+	case KindInvalidate:
+		return "invalidate"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -216,7 +222,20 @@ type InvokeReq struct {
 	// Hops counts kernel-to-kernel forwards, bounding forwarding
 	// chains after moves.
 	Hops uint8
+	// Flags carries per-request option bits (FlagAllowReplica).
+	Flags uint8
 }
+
+// Request flag bits.
+const (
+	// FlagAllowReplica marks the caller as stale-tolerant: the serving
+	// node may answer a read from a checkpoint shadow instead of
+	// insisting on the home's live representation.
+	FlagAllowReplica uint8 = 1 << 0
+)
+
+// AllowReplica reports whether the caller opted into replica serving.
+func (r InvokeReq) AllowReplica() bool { return r.Flags&FlagAllowReplica != 0 }
 
 // Encode appends the wire form of the request to dst.
 func (r InvokeReq) Encode(dst []byte) []byte {
@@ -225,7 +244,7 @@ func (r InvokeReq) Encode(dst []byte) []byte {
 	dst = appendBytes(dst, r.Data)
 	dst = capability.EncodeList(dst, r.Caps)
 	dst = binary.BigEndian.AppendUint64(dst, uint64(r.TimeoutNanos))
-	return append(dst, r.Hops)
+	return append(dst, r.Hops, r.Flags)
 }
 
 // DecodeInvokeReq parses an InvokeReq payload.
@@ -245,12 +264,13 @@ func DecodeInvokeReq(src []byte) (InvokeReq, error) {
 	if r.Caps, src, err = capability.DecodeList(src); err != nil {
 		return r, fmt.Errorf("%w: caps: %v", ErrBadFrame, err)
 	}
-	if len(src) < 9 {
+	if len(src) < 10 {
 		return r, fmt.Errorf("%w: truncated trailer", ErrBadFrame)
 	}
 	r.TimeoutNanos = int64(binary.BigEndian.Uint64(src))
 	r.Hops = src[8]
-	if rest := src[9:]; len(rest) != 0 {
+	r.Flags = src[9]
+	if rest := src[10:]; len(rest) != 0 {
 		return r, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
 	}
 	return r, nil
@@ -547,4 +567,71 @@ func DecodeShip(src []byte) (Ship, error) {
 		return s, fmt.Errorf("%w: trailing bytes", ErrBadFrame)
 	}
 	return s, nil
+}
+
+// Invalidate is the payload of KindInvalidate: the home node telling
+// checkpoint-holding peers that the object's servable state changed.
+// After a checkpoint it raises the replica serving floor to Version;
+// after a move (Move true) it retires every shadow outright — the
+// sites list then names the new home's checksites, so caches can be
+// refreshed rather than merely dropped.
+//
+//edenvet:ignore capleak wire frames carry raw names by design; rights travel only inside encoded capabilities
+type Invalidate struct {
+	// Object is the object whose checkpoint state changed.
+	Object edenid.ID
+	// Home is the object's (new) home node.
+	Home uint32
+	// Version is the just-acknowledged checkpoint version; shadows
+	// older than it must not serve once this frame is processed.
+	Version uint64
+	// Move marks a home change rather than a checkpoint: receivers
+	// stop serving the object entirely until a fresh checkpoint from
+	// the new home arrives.
+	Move bool
+	// Sites lists the nodes currently holding the checkpoint (the
+	// policy's checksites), so locator caches can steer reads.
+	Sites []uint32
+}
+
+// Encode appends the wire form of the invalidation to dst.
+func (iv Invalidate) Encode(dst []byte) []byte {
+	dst = iv.Object.Encode(dst)
+	dst = binary.BigEndian.AppendUint32(dst, iv.Home)
+	dst = binary.BigEndian.AppendUint64(dst, iv.Version)
+	if iv.Move {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(iv.Sites)))
+	for _, s := range iv.Sites {
+		dst = binary.BigEndian.AppendUint32(dst, s)
+	}
+	return dst
+}
+
+// DecodeInvalidate parses an Invalidate payload.
+func DecodeInvalidate(src []byte) (Invalidate, error) {
+	var iv Invalidate
+	id, src, err := edenid.Decode(src)
+	if err != nil {
+		return iv, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	iv.Object = id
+	if len(src) < 17 {
+		return iv, fmt.Errorf("%w: truncated invalidate", ErrBadFrame)
+	}
+	iv.Home = binary.BigEndian.Uint32(src[0:4])
+	iv.Version = binary.BigEndian.Uint64(src[4:12])
+	iv.Move = src[12] != 0
+	nSites := int(binary.BigEndian.Uint32(src[13:17]))
+	src = src[17:]
+	if nSites < 0 || len(src) != nSites*4 {
+		return iv, fmt.Errorf("%w: bad site list (%d sites, %d bytes)", ErrBadFrame, nSites, len(src))
+	}
+	for i := 0; i < nSites; i++ {
+		iv.Sites = append(iv.Sites, binary.BigEndian.Uint32(src[i*4:]))
+	}
+	return iv, nil
 }

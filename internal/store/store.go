@@ -65,6 +65,14 @@ type Record struct {
 	Version uint64
 	// Frozen marks an immutable representation.
 	Frozen bool
+	// Backup marks a checkpoint held on behalf of another node: this
+	// record arrived via a checkpoint ship, and Home is the node that
+	// shipped it. The distinction survives restarts so a recovering
+	// checksite does not mistake backups for its own objects and claim
+	// to be their home while the real home is alive.
+	Backup bool
+	// Home is the shipping node for a backup record (zero otherwise).
+	Home uint32
 	// Rep is the encoded representation (segment wire form).
 	Rep []byte
 }
@@ -189,8 +197,10 @@ type File struct {
 
 var _ Store = (*File)(nil)
 
-// fileMagic heads every checkpoint file.
-const fileMagic = "EDENCKP1"
+// fileMagic heads every checkpoint file. CKP2 added the flags byte's
+// backup bit and the home field; CKP1 files fail decode rather than
+// misparse.
+const fileMagic = "EDENCKP2"
 
 // NewFile opens (creating if needed) a file-backed store rooted at dir.
 func NewFile(dir string) (*File, error) {
@@ -205,19 +215,24 @@ func (f *File) path(id edenid.ID) string {
 }
 
 // encodeRecord lays a record out as:
-// magic | version(8) | frozen(1) | typeLen(4) type | repLen(4) rep
+// magic | id | version(8) | flags(1) | home(4) | typeLen(4) type | repLen(4) rep
+// where flags bit 0 is Frozen and bit 1 is Backup.
 func encodeRecord(rec Record) []byte {
-	buf := make([]byte, 0, len(fileMagic)+8+1+4+len(rec.TypeName)+4+len(rec.Rep)+edenid.Size)
+	buf := make([]byte, 0, len(fileMagic)+8+1+4+4+len(rec.TypeName)+4+len(rec.Rep)+edenid.Size)
 	buf = append(buf, fileMagic...)
 	buf = rec.Object.Encode(buf)
 	buf = append(buf,
 		byte(rec.Version>>56), byte(rec.Version>>48), byte(rec.Version>>40), byte(rec.Version>>32),
 		byte(rec.Version>>24), byte(rec.Version>>16), byte(rec.Version>>8), byte(rec.Version))
+	var flags byte
 	if rec.Frozen {
-		buf = append(buf, 1)
-	} else {
-		buf = append(buf, 0)
+		flags |= 1
 	}
+	if rec.Backup {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	buf = append(buf, byte(rec.Home>>24), byte(rec.Home>>16), byte(rec.Home>>8), byte(rec.Home))
 	buf = append(buf, byte(len(rec.TypeName)>>24), byte(len(rec.TypeName)>>16), byte(len(rec.TypeName)>>8), byte(len(rec.TypeName)))
 	buf = append(buf, rec.TypeName...)
 	buf = append(buf, byte(len(rec.Rep)>>24), byte(len(rec.Rep)>>16), byte(len(rec.Rep)>>8), byte(len(rec.Rep)))
@@ -235,15 +250,17 @@ func decodeRecord(b []byte) (Record, error) {
 		return rec, fmt.Errorf("%w: %v", ErrFailed, err)
 	}
 	rec.Object = id
-	if len(b) < 13 {
+	if len(b) < 17 {
 		return rec, fmt.Errorf("%w: truncated header", ErrFailed)
 	}
 	for i := 0; i < 8; i++ {
 		rec.Version = rec.Version<<8 | uint64(b[i])
 	}
-	rec.Frozen = b[8] != 0
-	tl := int(b[9])<<24 | int(b[10])<<16 | int(b[11])<<8 | int(b[12])
-	b = b[13:]
+	rec.Frozen = b[8]&1 != 0
+	rec.Backup = b[8]&2 != 0
+	rec.Home = uint32(b[9])<<24 | uint32(b[10])<<16 | uint32(b[11])<<8 | uint32(b[12])
+	tl := int(b[13])<<24 | int(b[14])<<16 | int(b[15])<<8 | int(b[16])
+	b = b[17:]
 	if tl < 0 || len(b) < tl+4 {
 		return rec, fmt.Errorf("%w: truncated type name", ErrFailed)
 	}

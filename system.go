@@ -126,6 +126,14 @@ type NodeConfig struct {
 	// ReaderPool bounds how many AccessRead processes of one object
 	// run concurrently (0 = kernel default).
 	ReaderPool int
+	// Replicas lets this node serve stale-tolerant AccessRead
+	// invocations of other nodes' mutable objects from checkpoint
+	// records it holds as a checksite (see kernel.Config.ReplicaServe).
+	Replicas bool
+	// AdmissionQueue caps each object's reader and writer admission
+	// queues; excess calls are shed with a timeout (0 = kernel
+	// default).
+	AdmissionQueue int
 }
 
 // AddNode creates a node, assigns it the next node number, and boots
@@ -184,6 +192,8 @@ func (s *System) boot(n *Node) error {
 	cfg.MemoryBytes = n.nc.MemoryBytes
 	cfg.EvictOnPressure = n.nc.EvictOnPressure
 	cfg.ReaderPool = n.nc.ReaderPool
+	cfg.ReplicaServe = n.nc.Replicas
+	cfg.AdmissionQueue = n.nc.AdmissionQueue
 	cfg.Telemetry = n.tel
 	if s.cfg.DefaultTimeout > 0 {
 		cfg.DefaultTimeout = s.cfg.DefaultTimeout
