@@ -171,7 +171,7 @@ func main() {
 	fmt.Println(`commands: create <type> | invoke <cap> <op> [hexdata] | rinvoke <cap> <op> [hexdata] |
           checksite <cap> <local|remote|replicated> [site,...] | types | ls |
           checkpoint <cap> | passivate <cap> | move <cap> <node> | stats |
-          describe <cap> | show <cap> | quit`)
+          describe <cap> | show <cap> | where <cap> | quit`)
 	console(k)
 }
 
@@ -483,6 +483,20 @@ func console(k *kernel.Kernel) {
 			for _, line := range strings.Split(editor.Render(k, cap), "\n") {
 				fmt.Println("  " + line)
 			}
+		// where reports this node's bookkeeping for the object — active
+		// incarnation, forwarding pointer, surviving move intent, stored
+		// record — so a harness can assert exactly one node is the home.
+		case "where":
+			if len(fields) != 2 {
+				fmt.Println("  usage: where <cap>")
+				continue
+			}
+			cap, err := parseCap(fields[1])
+			if err != nil {
+				fmt.Println(" ", err)
+				continue
+			}
+			fmt.Printf("  where %s\n", k.DebugObjectState(cap.ID()))
 		case "describe":
 			if len(fields) != 2 {
 				fmt.Println("  usage: describe <cap>")

@@ -257,7 +257,7 @@ var repPureMethods = map[string]bool{
 // incarnation (Passivate, Crash, Destroy, Freeze, Move).
 var objectPureMethods = map[string]bool{
 	"ID": true, "TypeName": true, "Node": true, "Frozen": true,
-	"IsReplica": true, "Version": true, "SelfCapability": true,
+	"IsReplica": true, "Version": true, "Epoch": true, "SelfCapability": true,
 	"Describe": true, "Invoke": true, "Semaphore": true, "Port": true,
 	"Checksite": true, "SetChecksite": true, "Replicate": true,
 }

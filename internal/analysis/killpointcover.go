@@ -9,10 +9,12 @@ package analysis
 // whole fault-injection regime.
 //
 // The analyzer walks the call trees of the lifecycle roots
-// (Checkpoint, Passivate, Move/moveObject, activate/Reincarnate),
-// flattening package-local callees and function literals into one
-// lexical event stream of killpoint.Hit crossings and store mutations
-// (store.Put / store.Delete, by callee package). Every store mutation
+// (Checkpoint, Passivate, Move/moveObject, activate/Reincarnate,
+// resolveIntent), flattening package-local callees and function
+// literals into one lexical event stream of killpoint.Hit crossings
+// and store mutations (store.Put / store.Delete and the move-intent
+// halves store.PutIntent / store.DeleteIntent, by callee package).
+// Every store mutation
 // must have a Hit somewhere before it and somewhere after it in the
 // stream — the bracketing that lets the harness kill on either side of
 // the transition. The walk is lexical, not path-sensitive: a Hit
@@ -37,14 +39,19 @@ var KillpointCover = &Analyzer{
 // durability paths. Destroy and acceptShip are deliberately absent:
 // destruction is not a recoverable transition (there is no state to
 // restore), and the receiving half of a move commits under the
-// sender's move killpoints.
+// sender's move killpoints. resolveIntent is a root of its own —
+// move-transaction recovery commits and rolls back outside any live
+// move, so its intent mutations cannot ride on moveObject's
+// bracketing. (resolvePendingIntent is a thin delegate and is covered
+// through resolveIntent's own stream.)
 var lifecycleRoots = map[string]bool{
-	"Checkpoint":  true,
-	"Passivate":   true,
-	"Move":        true,
-	"moveObject":  true,
-	"activate":    true,
-	"Reincarnate": true,
+	"Checkpoint":    true,
+	"Passivate":     true,
+	"Move":          true,
+	"moveObject":    true,
+	"activate":      true,
+	"Reincarnate":   true,
+	"resolveIntent": true,
 }
 
 // kpMaxDepth bounds call-tree flattening.
@@ -188,15 +195,18 @@ func (kp *kpWalker) scan(n ast.Node, events *[]kpEvent) {
 }
 
 // storeMutation reports whether the call mutates long-term storage: a
-// Put or Delete whose callee is declared in a store package (the store
-// interface or the fault-injecting wrapper).
+// Put or Delete — or a move-intent write/erase, the durable halves of
+// the move transaction — whose callee is declared in a store package
+// (the store interface or the fault-injecting wrapper).
 func storeMutation(info *types.Info, call *ast.CallExpr) (string, bool) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return "", false
 	}
 	name := sel.Sel.Name
-	if name != "Put" && name != "Delete" {
+	switch name {
+	case "Put", "Delete", "PutIntent", "DeleteIntent":
+	default:
 		return "", false
 	}
 	fn := staticCallee(info, call)

@@ -1,7 +1,7 @@
 // Package killpointcover exercises the killpointcover analyzer: store
-// mutations in lifecycle roots must have a killpoint.Hit crossing both
-// before and after them; bracketed writes, reads, and non-root
-// functions stay silent.
+// mutations in lifecycle roots — move-intent writes and erases
+// included — must have a killpoint.Hit crossing both before and after
+// them; bracketed writes, reads, and non-root functions stay silent.
 package killpointcover
 
 import (
@@ -55,6 +55,17 @@ func (s *sys) flush() {
 // reap is not a lifecycle root; its writes are its callers' concern.
 func (s *sys) reap() {
 	_ = s.st.Delete(edenid.ID{})
+}
+
+// resolveIntent is move-transaction recovery's own root: the rollback
+// half erases its intent inside the bracket, but the commit half's
+// intent write has no crossing after it — PutIntent and DeleteIntent
+// are durability transitions like any Put or Delete.
+func (s *sys) resolveIntent() {
+	killpoint.Hit(killpoint.MoveResolve)
+	_ = s.st.DeleteIntent(edenid.ID{})
+	killpoint.Hit(killpoint.MoveResolveCommit)
+	_ = s.st.PutIntent(store.MoveIntent{}) // want "store.PutIntent in lifecycle path resolveIntent has no killpoint.Hit after it"
 }
 
 // Reincarnate reads the store (not a mutation) and commits on a

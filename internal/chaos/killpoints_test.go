@@ -39,9 +39,11 @@ func reStatOK(value, version uint64) *regexp.Regexp {
 // version i+1) — then issues the console command that crosses the
 // armed boundary and dies there with the killpoint exit code.
 //
-// The move commit-side boundaries (move.pre-commit, move.post-commit)
-// need a live destination kernel and are exercised by the in-process
-// killpoint sweep in the kernel package instead.
+// The move transaction's boundaries (move.intent-durable,
+// move.pre-commit, move.post-commit) need a live destination node and
+// are exercised blackbox by TestKillpointRecoveryMove; the resolve-side
+// boundaries fire during that test's recovery phase and are swept
+// in-process by the kernel package's TestKillpointSweep.
 func TestKillpointRecovery(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and spawns subprocesses")

@@ -419,6 +419,50 @@ func (s *Store) List() ([]edenid.ID, error) {
 	return out, nil
 }
 
+// PutIntent implements store.Store under the fault schedule. Intents
+// get fail and delay injection only: the torn and sync-lie modes hold
+// their overlay keyed by object ID, which a move intent shares with the
+// object's checkpoint record, so modeling them here would corrupt the
+// checkpoint overlay. The file store writes intents with the same
+// temp-and-rename discipline as checkpoints, so torn intents are not a
+// failure mode it admits anyway.
+func (s *Store) PutIntent(it store.MoveIntent) error {
+	d := s.draw("put-intent", it.Object)
+	if d.delay > 0 {
+		time.Sleep(d.delay)
+	}
+	if d.fail {
+		return ErrInjected
+	}
+	return s.inner.PutIntent(it)
+}
+
+// DeleteIntent implements store.Store under the fault schedule.
+//
+//edenvet:ignore capleak implements Store, which is below the capability layer
+func (s *Store) DeleteIntent(id edenid.ID) error {
+	d := s.draw("delete-intent", id)
+	if d.delay > 0 {
+		time.Sleep(d.delay)
+	}
+	if d.fail {
+		return ErrInjected
+	}
+	return s.inner.DeleteIntent(id)
+}
+
+// ListIntents implements store.Store under the fault schedule.
+func (s *Store) ListIntents() ([]store.MoveIntent, error) {
+	d := s.draw("list-intents", edenid.ID{})
+	if d.delay > 0 {
+		time.Sleep(d.delay)
+	}
+	if d.fail {
+		return nil, ErrInjected
+	}
+	return s.inner.ListIntents()
+}
+
 // Sync flushes the unsynced overlay to the inner store — the moment a
 // lying fsync would finally make the data durable. It reports the
 // first flush error; flushed entries are removed even on partial

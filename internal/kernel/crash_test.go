@@ -9,7 +9,19 @@ import (
 	"time"
 
 	"eden/internal/killpoint"
+	"eden/internal/store"
 )
+
+// injectIntent plants a move intent on k the way a crash would leave
+// it: durable in the store and loaded into the boot-scan map.
+func injectIntent(k *Kernel, it store.MoveIntent) {
+	if err := k.store.PutIntent(it); err != nil {
+		panic(err)
+	}
+	k.mu.Lock()
+	k.intents[it.Object] = it
+	k.mu.Unlock()
+}
 
 // TestKillpointSweep drives every lifecycle path that carries a crash
 // boundary and asserts each registered killpoint actually fires —
@@ -42,8 +54,37 @@ func TestKillpointSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := <-obj.Move(2); err != nil { // move.{pre-ship,pre-commit,post-commit}
+	if err := <-obj.Move(2); err != nil { // move.{pre-ship,intent-durable,pre-commit,post-commit}
 		t.Fatal(err)
+	}
+
+	// The resolve boundaries fire only in move recovery: inject
+	// surviving intents the way a crash would leave them.
+	// Rollback: an intent whose destination never installed the object.
+	capR, err := s.ks[1].Create("counter", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustInvoke(t, s.ks[1], capR, "inc", nil)
+	objR, err := s.ks[1].Object(capR.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := objR.Passivate(); err != nil {
+		t.Fatal(err)
+	}
+	injectIntent(s.ks[1], store.MoveIntent{Object: capR.ID(), Dest: 2, Epoch: 2})
+	mustInvoke(t, s.ks[1], capR, "get", nil) // move.resolve + move.resolve-rollback
+	if st := s.ks[1].Stats(); st.MoveResolveRollbacks != 1 {
+		t.Errorf("MoveResolveRollbacks = %d, want 1", st.MoveResolveRollbacks)
+	}
+
+	// Commit: re-inject the committed move's intent — the destination
+	// (node 2) holds the object at the intent epoch, so resolution rolls
+	// forward.
+	injectIntent(s.ks[1], store.MoveIntent{Object: cap.ID(), Dest: 2, Epoch: 2})
+	if outcome, err := s.ks[1].resolvePendingIntent(cap.ID()); outcome != moveRolledForward {
+		t.Fatalf("resolvePendingIntent = %v, %v; want rolled forward", outcome, err) // move.resolve-commit
 	}
 
 	for _, p := range killpoint.Points() {

@@ -265,6 +265,39 @@ func (k *Kernel) tryLocal(req msg.InvokeReq, allowReplica, remoteOrigin bool, ti
 		obj = replica
 		shadowServe = replica.shadow
 	default:
+		// A pending move intent puts the local record in doubt: a
+		// committed move this node never finished may have superseded
+		// it. Resolve the transaction first (movetxn.go); serving the
+		// record while unresolved could execute at a stale epoch.
+		if _, pending := k.pendingIntent(id); pending {
+			outcome, rerr := k.resolvePendingIntent(id)
+			switch outcome {
+			case moveRolledForward:
+				if remoteOrigin {
+					k.mu.Lock()
+					dest, isNowFwd := k.forwards[id]
+					k.mu.Unlock()
+					if isNowFwd {
+						return movedReply(dest), true, nil
+					}
+					return msg.InvokeRep{Status: msg.StatusNoSuchObject}, true, nil
+				}
+				// Locally originated: chase through the locator, which
+				// the resolution just refreshed.
+				return msg.InvokeRep{}, false, nil
+			case moveRolledBack:
+				// The move never happened; fall through to the normal
+				// passive path below.
+			default:
+				reason := "kernel: move in doubt"
+				if rerr != nil {
+					reason = rerr.Error()
+				}
+				// Refusing service is the safe side: the destination may
+				// be serving acked writes behind a partition.
+				return msg.InvokeRep{Status: msg.StatusCrashed, Data: []byte(reason)}, true, nil
+			}
+		}
 		// Passive here? Only if our store holds the object's home
 		// record (not a backup held for another node).
 		if _, err := k.store.Get(id); err != nil || isBackup {

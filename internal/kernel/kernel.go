@@ -121,6 +121,12 @@ type Stats struct {
 	Moves int64
 	// MoveAborts counts moves that failed and resumed service here.
 	MoveAborts int64
+	// MoveResolveForwards counts crashed moves recovery rolled forward
+	// (the destination had installed the object).
+	MoveResolveForwards int64
+	// MoveResolveRollbacks counts crashed moves recovery rolled back
+	// (the destination never installed the object).
+	MoveResolveRollbacks int64
 	// ReplicasInstalled counts frozen replicas cached here.
 	ReplicasInstalled int64
 	// Evictions counts objects passivated by memory pressure.
@@ -184,9 +190,14 @@ type Kernel struct {
 	backups  map[edenid.ID]uint32            // records held for other nodes' objects -> home node
 	minServe map[edenid.ID]uint64            // replica serving floor: no shadow below this version
 	lastShip map[edenid.ID]time.Time         // last accepted checkpoint ship (home heartbeat)
+	intents  map[edenid.ID]store.MoveIntent  // durable move intents (boot-scanned + live)
 	boot     time.Time                       // kernel start, the lastShip stand-in for unseen objects
 	memInUse int64
 	closed   bool
+
+	// resolveMu serializes move-intent resolutions (movetxn.go) so two
+	// touches of the same in-doubt object run one probe, not two.
+	resolveMu sync.Mutex
 
 	pendMu sync.Mutex
 	pend   map[uint64]chan msg.InvokeRep
@@ -205,6 +216,7 @@ type Kernel struct {
 	stReinc, stCkpt, stCkptBytes          atomic.Int64
 	stCkptIncr                            atomic.Int64
 	stMoves, stMoveAborts                 atomic.Int64
+	stMoveResolveFwd, stMoveResolveBack   atomic.Int64
 	stReplicas, stEvictions               atomic.Int64
 	tick                                  atomic.Int64 // recency counter for eviction
 	activationMu                          sync.Mutex   // serializes reincarnations
@@ -252,6 +264,7 @@ func New(cfg Config, tr transport.Transport, types *Registry, st store.Store) *K
 		backups:  make(map[edenid.ID]uint32),
 		minServe: make(map[edenid.ID]uint64),
 		lastShip: make(map[edenid.ID]time.Time),
+		intents:  make(map[edenid.ID]store.MoveIntent),
 		boot:     time.Now(),
 		pend:     make(map[uint64]chan msg.InvokeRep),
 		served:   make(map[servedKey]*servedEntry),
@@ -278,6 +291,17 @@ func New(cfg Config, tr transport.Transport, types *Registry, st store.Store) *K
 			}
 			k.backups[id] = rec.Home
 			k.minServe[id] = rec.Version
+		}
+	}
+	// Load move intents that survived a crash: each marks an in-flight
+	// move transaction whose outcome is unknown until the destination is
+	// probed. Resolution is lazy (first touch — see movetxn.go), because
+	// at construction time no peer is reachable yet; until resolved the
+	// object is refused service rather than served from a record the
+	// committed move may have superseded.
+	if its, err := st.ListIntents(); err == nil {
+		for _, it := range its {
+			k.intents[it.Object] = it
 		}
 	}
 	k.loc = locator.New(cfg.Node, tr.Send, k.hostCheck)
@@ -314,6 +338,8 @@ func (k *Kernel) Stats() Stats {
 		IncrementalCheckpoints: k.stCkptIncr.Load(),
 		Moves:                  k.stMoves.Load(),
 		MoveAborts:             k.stMoveAborts.Load(),
+		MoveResolveForwards:    k.stMoveResolveFwd.Load(),
+		MoveResolveRollbacks:   k.stMoveResolveBack.Load(),
 		ReplicasInstalled:      k.stReplicas.Load(),
 		Evictions:              k.stEvictions.Load(),
 	}
@@ -363,7 +389,17 @@ func (k *Kernel) hostCheck(id edenid.ID, recover bool) (home, replica bool) {
 		return false, isReplica
 	}
 	_, isBackup := k.backups[id]
+	it, inDoubt := k.intents[id]
 	k.mu.Unlock()
+	// An unresolved move transaction: the local record may already be
+	// superseded by the destination's installation, so this node must
+	// not answer as home (or advertise the record) until the intent
+	// resolves. Resolution probes the network, so it runs off the
+	// locator's callback path.
+	if inDoubt {
+		go func() { _, _ = k.resolveIntent(it) }()
+		return false, false
+	}
 	// A passive object is homed where its checkpoint lives — unless
 	// that record is a backup held for another node, in which case it
 	// only counts during recovery.
@@ -476,6 +512,7 @@ func (k *Kernel) Create(typeName string, opts *CreateOptions) (capability.Capabi
 
 	id := k.gen.Next()
 	obj := k.newObject(id, tm, segment.New(), 0, false)
+	obj.epoch = 1 // first residency; every committed move increments it
 	if tm.Init != nil {
 		if err := tm.Init(obj); err != nil {
 			return capability.Capability{}, fmt.Errorf("kernel: init of %q: %w", typeName, err)
@@ -661,16 +698,24 @@ func errFromStatus(st msg.Status, data []byte) error {
 //edenvet:ignore capleak diagnostics-only view keyed by name; it grants nothing
 func (k *Kernel) DebugObjectState(id edenid.ID) string {
 	k.mu.Lock()
-	_, active := k.active[id]
+	obj, active := k.active[id]
 	fwd, hasFwd := k.forwards[id]
 	_, replica := k.replicas[id]
 	_, backup := k.backups[id]
+	it, intent := k.intents[id]
 	k.mu.Unlock()
+	var epoch uint64
+	if active {
+		epoch = obj.epoch
+	}
 	rec, err := k.store.Get(id)
 	stored := "no-record"
 	if err == nil {
-		stored = fmt.Sprintf("record-v%d", rec.Version)
+		stored = fmt.Sprintf("record-v%d-e%d", rec.Version, normEpoch(rec.Epoch))
+		if !active {
+			epoch = normEpoch(rec.Epoch)
+		}
 	}
-	return fmt.Sprintf("active=%v fwd=%v(%d) replica=%v backup=%v store=%s",
-		active, hasFwd, fwd, replica, backup, stored)
+	return fmt.Sprintf("active=%v epoch=%d fwd=%v(%d) replica=%v backup=%v intent=%v(%d@%d) store=%s",
+		active, epoch, hasFwd, fwd, replica, backup, intent, it.Dest, it.Epoch, stored)
 }

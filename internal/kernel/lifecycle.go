@@ -39,6 +39,23 @@ func (k *Kernel) activate(id edenid.ID) (*Object, error) {
 	if isBackup {
 		return nil, fmt.Errorf("%w: %v is a checksite backup (home may be alive)", ErrNoCheckpoint, id)
 	}
+	// A pending move intent means the local record may be superseded by
+	// a committed move this node never finished: resolve the transaction
+	// before reincarnating from it (movetxn.go's decision table).
+	if _, pending := k.pendingIntent(id); pending {
+		outcome, rerr := k.resolvePendingIntent(id)
+		switch outcome {
+		case moveRolledForward:
+			return nil, fmt.Errorf("%w: %v moved before the crash", ErrNoSuchObject, id)
+		case moveRolledBack:
+			// The move never installed; reincarnate here as usual.
+		default:
+			if rerr == nil {
+				rerr = fmt.Errorf("kernel: move of %v unresolved", id)
+			}
+			return nil, fmt.Errorf("%w: %v", ErrNoCheckpoint, rerr)
+		}
+	}
 	rec, err := k.store.Get(id)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrNoCheckpoint, err)
@@ -52,6 +69,7 @@ func (k *Kernel) activate(id edenid.ID) (*Object, error) {
 		return nil, fmt.Errorf("kernel: corrupt checkpoint for %v: %v", id, err)
 	}
 	obj := k.newObject(id, tm, rep, rec.Version, rec.Frozen)
+	obj.epoch = normEpoch(rec.Epoch)
 	// The reincarnation condition handler runs before any invocation
 	// is dispatched; install() happens only after it succeeds.
 	if tm.Reincarnate != nil {
@@ -109,7 +127,7 @@ func (o *Object) Checkpoint() error {
 	// durable — a kill here must recover to the previous checkpoint.
 	killpoint.Hit(killpoint.CheckpointPreSync)
 	start := o.k.tel.ckptLat.Start()
-	err := o.k.writeCheckpoint(o.id, o.tm.Name, ver, frozen, encoded, partial, removed)
+	err := o.k.writeCheckpoint(o.id, o.tm.Name, ver, o.epoch, frozen, encoded, partial, removed)
 	if err == nil {
 		// Crash boundary: the checkpoint is durable but the caller has
 		// not learned of it — a kill here loses the acknowledgment,
@@ -158,15 +176,15 @@ func (o *Object) Checksite() (Reliability, []uint32) {
 // preceding version receive only the changed segments (an incremental
 // checkpoint); anything else — a lagging or fresh site, or a site that
 // rejects the delta — receives the full representation.
-func (k *Kernel) writeCheckpoint(id edenid.ID, typeName string, ver uint64, frozen bool, encoded, partial []byte, removed []string) error {
+func (k *Kernel) writeCheckpoint(id edenid.ID, typeName string, ver, epoch uint64, frozen bool, encoded, partial []byte, removed []string) error {
 	k.mu.Lock()
 	policy, ok := k.sites[id]
 	k.mu.Unlock()
 	if !ok {
 		policy = checksitePolicy{level: RelLocal}
 	}
-	rec := store.Record{Object: id, TypeName: typeName, Version: ver, Frozen: frozen, Rep: encoded}
-	full := msg.Ship{Purpose: msg.ShipCheckpoint, Object: id, TypeName: typeName, Frozen: frozen, Version: ver, Rep: encoded}
+	rec := store.Record{Object: id, TypeName: typeName, Version: ver, Epoch: epoch, Frozen: frozen, Rep: encoded}
+	full := msg.Ship{Purpose: msg.ShipCheckpoint, Object: id, TypeName: typeName, Frozen: frozen, Version: ver, Epoch: epoch, Rep: encoded}
 
 	var firstErr error
 	writeLocal := policy.level == RelLocal || policy.level == RelReplicated
@@ -355,7 +373,7 @@ func (o *Object) Replicate(nodes ...uint32) error {
 	encoded := o.rep.Encode(nil)
 	ver := o.version
 	o.mu.Unlock()
-	ship := msg.Ship{Purpose: msg.ShipReplica, Object: o.id, TypeName: o.tm.Name, Frozen: true, Version: ver, Rep: encoded}
+	ship := msg.Ship{Purpose: msg.ShipReplica, Object: o.id, TypeName: o.tm.Name, Frozen: true, Version: ver, Epoch: o.epoch, Rep: encoded}
 	var firstErr error
 	for _, n := range nodes {
 		if n == o.k.cfg.Node {
@@ -416,12 +434,49 @@ func (k *Kernel) moveObject(o *Object, to uint32) error {
 	frozen := o.frozen
 	o.mu.RUnlock()
 
-	ship := msg.Ship{Purpose: msg.ShipMove, Object: o.id, TypeName: o.tm.Name, Frozen: frozen, Version: ver, Rep: encoded}
-	// Crash boundary: the object is quiesced and encoded but has not
-	// left the node — a kill here must reincarnate it at this home.
+	// The move is a two-phase transaction ordered by residency epochs:
+	// a durable intent before anything ships, the destination's install
+	// under the next epoch, then a durable commit (the intent's
+	// deletion). A crash at any boundary leaves recovery a deterministic
+	// verdict — see movetxn.go's decision table.
+	newEpoch := o.epoch + 1
+	ship := msg.Ship{Purpose: msg.ShipMove, Object: o.id, TypeName: o.tm.Name, Frozen: frozen, Version: ver, Epoch: newEpoch, Rep: encoded}
+	// Crash boundary: the object is quiesced and encoded but nothing
+	// about the move is durable — a kill here must reincarnate it at
+	// this home, as if the move was never attempted.
 	killpoint.Hit(killpoint.MovePreShip)
+	intent := store.MoveIntent{Object: o.id, Dest: to, Epoch: newEpoch}
+	if err := k.store.PutIntent(intent); err != nil {
+		o.sched.Lock()
+		if o.state == stMoving {
+			o.state = stActive
+		}
+		o.sched.Unlock()
+		o.notifyResume()
+		k.stMoveAborts.Add(1)
+		return fmt.Errorf("kernel: move to node %d: intent: %w", to, err)
+	}
+	k.mu.Lock()
+	k.intents[o.id] = intent
+	k.mu.Unlock()
+	// Crash boundary: the intent is durable but the representation has
+	// not left the node — recovery must probe the destination, find
+	// nothing, and roll the move back.
+	killpoint.Hit(killpoint.MoveIntentDurable)
 	if err := k.shipAndWait(to, ship, k.cfg.DefaultTimeout); err != nil {
-		// Abort: the object resumes service here, and calls held at the
+		// Abort: delete the intent durably before resuming — an intent
+		// outliving a resumed object would put it in doubt at the next
+		// boot for no reason. (If the destination installed but the ack
+		// was lost, this abort and its service resume race the
+		// destination's installation; the stale-epoch fence on ShipMove
+		// and the epoch order bound the damage — see DESIGN.md §6.)
+		aerr := k.store.DeleteIntent(o.id)
+		k.mu.Lock()
+		if aerr == nil {
+			delete(k.intents, o.id)
+		}
+		k.mu.Unlock()
+		// The object resumes service here, and calls held at the
 		// coordinator during the move are re-admitted rather than left
 		// to time out.
 		o.sched.Lock()
@@ -433,9 +488,9 @@ func (k *Kernel) moveObject(o *Object, to uint32) error {
 		k.stMoveAborts.Add(1)
 		return fmt.Errorf("kernel: move to node %d: %w", to, err)
 	}
-	// Crash boundary: the destination has installed the object but this
-	// home has not committed — a kill here leaves two durable records;
-	// the forwarding handshake must resolve to the destination's.
+	// Crash boundary: the destination has installed the object at the
+	// new epoch but this home has not committed — recovery must probe
+	// the destination, find it installed, and roll the move forward.
 	killpoint.Hit(killpoint.MovePreCommit)
 
 	// Commit: we are no longer the home; leave a forwarding pointer.
@@ -450,6 +505,7 @@ func (k *Kernel) moveObject(o *Object, to uint32) error {
 	k.tel.memBytes.Set(k.memInUse)
 	k.forwards[o.id] = to
 	delete(k.sites, o.id)
+	delete(k.intents, o.id)
 	// The incremental-checkpoint base tracking must not survive the
 	// move: changes made at other homes are invisible to this node's
 	// dirty tracking, so a base recorded here would let a future
@@ -460,6 +516,9 @@ func (k *Kernel) moveObject(o *Object, to uint32) error {
 	// The stale local checkpoint would otherwise make this node claim
 	// to be home again after a restart.
 	_ = k.store.Delete(o.id)
+	// The commit point: once the intent is durably gone, no future
+	// incarnation of this node will question the move.
+	_ = k.store.DeleteIntent(o.id)
 	k.loc.Forget(o.id)
 	k.loc.Learn(o.id, to, false)
 	k.stMoves.Add(1)
@@ -509,7 +568,13 @@ func (k *Kernel) serveShip(env msg.Envelope) {
 	if err != nil {
 		ack = msg.InvokeRep{Status: msg.StatusError, Data: []byte(err.Error())}
 	} else if err := k.acceptShip(env.From, ship); err != nil {
-		ack = msg.InvokeRep{Status: msg.StatusError, Data: []byte(err.Error())}
+		if errors.Is(err, errProbeNotInstalled) {
+			// A definite "not here" answer to a move-recovery probe; the
+			// prober distinguishes it from transport failure.
+			ack = msg.InvokeRep{Status: msg.StatusNoSuchObject}
+		} else {
+			ack = msg.InvokeRep{Status: msg.StatusError, Data: []byte(err.Error())}
+		}
 	}
 	_ = k.tr.Send(msg.Envelope{
 		Kind:    msg.KindInvokeRep,
@@ -555,7 +620,7 @@ func (k *Kernel) acceptShip(from uint32, ship msg.Ship) error {
 			repBytes = baseRep.Encode(nil)
 		}
 		rec := store.Record{Object: ship.Object, TypeName: ship.TypeName, Version: ship.Version,
-			Frozen: ship.Frozen, Backup: true, Home: from, Rep: repBytes}
+			Epoch: ship.Epoch, Frozen: ship.Frozen, Backup: true, Home: from, Rep: repBytes}
 		if err := k.store.Put(rec); err != nil && !errors.Is(err, store.ErrStale) {
 			return err
 		}
@@ -597,6 +662,7 @@ func (k *Kernel) acceptShip(from uint32, ship msg.Ship) error {
 			return fmt.Errorf("kernel: corrupt replica representation: %v", err)
 		}
 		obj := k.newObject(ship.Object, tm, rep, ship.Version, true)
+		obj.epoch = normEpoch(ship.Epoch)
 		obj.replica = true
 		obj.home = from
 		k.mu.Lock()
@@ -611,6 +677,16 @@ func (k *Kernel) acceptShip(from uint32, ship msg.Ship) error {
 		return nil
 
 	case msg.ShipMove:
+		newEpoch := normEpoch(ship.Epoch)
+		// Stale-epoch fence: a move shipment at or below the epoch this
+		// node already hosts is a replay of an older transaction (a
+		// retransmitted ship, or a source resolving a move this node has
+		// since moved past). Executing it would fork the object's
+		// history; refuse it instead.
+		if cur, ok := k.lookupActive(ship.Object); ok && cur.epoch >= newEpoch {
+			return fmt.Errorf("kernel: stale move of %v at epoch %d, already hosting epoch %d",
+				ship.Object, newEpoch, cur.epoch)
+		}
 		tm, err := k.types.Lookup(ship.TypeName)
 		if err != nil {
 			return err
@@ -620,6 +696,7 @@ func (k *Kernel) acceptShip(from uint32, ship msg.Ship) error {
 			return fmt.Errorf("kernel: corrupt moved representation: %v", err)
 		}
 		obj := k.newObject(ship.Object, tm, rep, ship.Version, ship.Frozen)
+		obj.epoch = newEpoch
 		// A move transports the representation but not short-term state
 		// (processes cannot cross machines); the reincarnation
 		// condition handler rebuilds temporary structures and respawns
@@ -641,7 +718,7 @@ func (k *Kernel) acceptShip(from uint32, ship msg.Ship) error {
 		// checkpointed stays volatile, as before.
 		if ship.Version > 0 {
 			rec := store.Record{Object: ship.Object, TypeName: ship.TypeName,
-				Version: ship.Version, Frozen: ship.Frozen, Rep: ship.Rep}
+				Version: ship.Version, Epoch: newEpoch, Frozen: ship.Frozen, Rep: ship.Rep}
 			if err := k.store.Put(rec); err != nil && !errors.Is(err, store.ErrStale) {
 				return fmt.Errorf("kernel: move checkpoint handoff: %w", err)
 			}
@@ -655,6 +732,34 @@ func (k *Kernel) acceptShip(from uint32, ship msg.Ship) error {
 		delete(k.shipped, ship.Object)
 		k.mu.Unlock()
 		return nil
+
+	case msg.ShipMoveProbe:
+		// Move recovery asking: does this node host the object at (or
+		// beyond) the probed epoch? "Yes" commits the crashed move at
+		// the source; "no" (errProbeNotInstalled → StatusNoSuchObject)
+		// rolls it back. Anything in between — a transport failure —
+		// leaves the source in doubt, so only a positive identification
+		// answers yes.
+		probeEpoch := normEpoch(ship.Epoch)
+		k.mu.Lock()
+		cur, isActive := k.active[ship.Object]
+		_, isFwd := k.forwards[ship.Object]
+		k.mu.Unlock()
+		if isActive && cur.epoch >= probeEpoch {
+			return nil
+		}
+		if isFwd {
+			// The object was installed here and has since moved on: from
+			// the prober's point of view this move committed; the chase
+			// protocol will follow the forwarding chain.
+			return nil
+		}
+		if rec, err := k.store.Get(ship.Object); err == nil && !rec.Backup && normEpoch(rec.Epoch) >= probeEpoch {
+			// Passive here at the probed epoch: the move installed and
+			// the object has since checkpointed or passivated.
+			return nil
+		}
+		return fmt.Errorf("%w: %v at epoch %d", errProbeNotInstalled, ship.Object, probeEpoch)
 
 	default:
 		return fmt.Errorf("kernel: unknown ship purpose %v", ship.Purpose)

@@ -47,6 +47,13 @@ type Object struct {
 	version uint64 // checkpoint version counter
 	frozen  bool
 
+	// epoch is the object's residency epoch: set before the incarnation
+	// is published (Create, activate, acceptShip) and immutable for its
+	// lifetime — only a committed move creates a new incarnation, at the
+	// destination, one epoch up. Recovery orders incarnations by it
+	// (movetxn.go), so it needs no lock.
+	epoch uint64
+
 	// sched guards the incarnation's scheduling state. It is separate
 	// from mu so the coordinator can admit new processes while readers
 	// sit inside View holding mu: with a single RWMutex, one blocked
@@ -185,6 +192,10 @@ func (o *Object) Frozen() bool {
 // IsReplica reports whether this incarnation is a cached frozen
 // replica rather than the object's home.
 func (o *Object) IsReplica() bool { return o.replica }
+
+// Epoch returns the object's residency epoch: incremented by every
+// committed move, constant across checkpoints at one home.
+func (o *Object) Epoch() uint64 { return o.epoch }
 
 // Version returns the object's current checkpoint version.
 func (o *Object) Version() uint64 {

@@ -85,6 +85,7 @@ func (k *Kernel) replicaShadow(id edenid.ID) *Object {
 	// coordinator's replica gate refuses anything not AccessRead before
 	// that can matter.
 	obj := k.newObject(id, tm, rep, rec.Version, true)
+	obj.epoch = normEpoch(rec.Epoch)
 	obj.replica = true
 	obj.shadow = true
 	obj.home = home

@@ -42,14 +42,33 @@ const (
 	// the release of active state.
 	PassivatePreRelease Point = "passivate.pre-release"
 	// MovePreShip fires after a move has quiesced the object but
-	// before the representation leaves the node.
+	// before anything about the move is durable: a kill here must
+	// recover as if the move was never attempted.
 	MovePreShip Point = "move.pre-ship"
+	// MoveIntentDurable fires after the move-intent record is durable
+	// but before the representation leaves the node: a kill here leaves
+	// an intent whose destination never installed, and recovery must
+	// roll the move back.
+	MoveIntentDurable Point = "move.intent-durable"
 	// MovePreCommit fires after the destination acknowledged the
-	// shipment but before the old home commits (forwarding pointer,
-	// store delete).
+	// shipment but before the old home commits (intent delete,
+	// forwarding pointer, store delete): a kill here leaves an intent
+	// whose destination holds the object, and recovery must roll the
+	// move forward.
 	MovePreCommit Point = "move.pre-commit"
 	// MovePostCommit fires after the move has fully committed.
 	MovePostCommit Point = "move.post-commit"
+	// MoveResolve fires when recovery picks up a surviving move intent,
+	// before the destination probe: a kill here must leave the intent
+	// intact for the next incarnation.
+	MoveResolve Point = "move.resolve"
+	// MoveResolveCommit fires after a probe found the object installed
+	// at the destination but before the roll-forward deletes the local
+	// record and intent.
+	MoveResolveCommit Point = "move.resolve-commit"
+	// MoveResolveRollback fires after a probe found the destination
+	// without the object but before the rollback deletes the intent.
+	MoveResolveRollback Point = "move.resolve-rollback"
 	// ReincarnatePreInstall fires after a checkpoint has been read and
 	// decoded but before the reincarnated object is installed.
 	ReincarnatePreInstall Point = "reincarnate.pre-install"
@@ -60,7 +79,8 @@ func Points() []Point {
 	return []Point{
 		CheckpointPreSync, CheckpointPostSync,
 		PassivatePreRelease,
-		MovePreShip, MovePreCommit, MovePostCommit,
+		MovePreShip, MoveIntentDurable, MovePreCommit, MovePostCommit,
+		MoveResolve, MoveResolveCommit, MoveResolveRollback,
 		ReincarnatePreInstall,
 	}
 }

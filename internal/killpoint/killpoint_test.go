@@ -122,7 +122,14 @@ func TestCountersAndString(t *testing.T) {
 }
 
 func TestPointsRegistered(t *testing.T) {
-	if len(Points()) != 7 {
+	if len(Points()) != 11 {
 		t.Fatalf("Points() = %v", Points())
+	}
+	seen := make(map[Point]bool)
+	for _, p := range Points() {
+		if seen[p] {
+			t.Errorf("duplicate point %q", p)
+		}
+		seen[p] = true
 	}
 }

@@ -152,6 +152,46 @@ func FuzzDecodeInvalidate(f *testing.F) {
 	})
 }
 
+func FuzzDecodeShip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Ship{
+		Purpose: ShipCheckpoint, Object: edenid.NewGenerator(9).Next(),
+		TypeName: "counter", Version: 7, Epoch: 2, Rep: []byte("rep"),
+	}.Encode(nil))
+	f.Add(Ship{
+		Purpose: ShipMove, Object: edenid.NewGenerator(9).Next(),
+		TypeName: "counter", Frozen: true, Version: 1 << 40, Epoch: 3,
+		Partial: true, Base: 9, Removed: []string{"a", "b"}, Rep: []byte{1},
+	}.Encode(nil))
+	f.Add(Ship{
+		Purpose: ShipMoveProbe, Object: edenid.NewGenerator(9).Next(), Epoch: 5,
+	}.Encode(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeShip(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeShip(s.Encode(nil))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(normShip(s), normShip(again)) {
+			t.Fatalf("round trip changed shipment: %+v != %+v", s, again)
+		}
+	})
+}
+
+// normShip canonicalizes nil-vs-empty slices across a Ship round trip.
+func normShip(s Ship) Ship {
+	if len(s.Rep) == 0 {
+		s.Rep = nil
+	}
+	if len(s.Removed) == 0 {
+		s.Removed = nil
+	}
+	return s
+}
+
 // normInvokeReq/normInvokeRep canonicalize the representations that
 // legitimately differ across a round trip without being semantically
 // different: a nil byte slice re-decodes as empty (and vice versa),

@@ -454,6 +454,11 @@ const (
 	ShipMove
 	// ShipReplica distributes a frozen object's replica for caching.
 	ShipReplica
+	// ShipMoveProbe asks the destination whether it hosts the object at
+	// Epoch or above: move recovery resolving a crashed transaction. It
+	// carries no representation; the ack's status is the answer
+	// (StatusOK = installed, StatusNoSuchObject = not installed).
+	ShipMoveProbe
 )
 
 // String names the purpose.
@@ -465,6 +470,8 @@ func (p ShipPurpose) String() string {
 		return "move"
 	case ShipReplica:
 		return "replica"
+	case ShipMoveProbe:
+		return "move-probe"
 	default:
 		return fmt.Sprintf("purpose(%d)", uint8(p))
 	}
@@ -486,6 +493,11 @@ type Ship struct {
 	Frozen bool
 	// Version is the checkpoint sequence number.
 	Version uint64
+	// Epoch is the object's residency epoch. A ShipMove carries the
+	// destination's new epoch (one above the source's); a ShipMoveProbe
+	// carries the epoch being probed for. Zero means "sent by a peer
+	// predating epochs" and is treated as epoch 1.
+	Epoch uint64
 	// Rep is the encoded representation (segment.Representation wire
 	// form). For a partial checkpoint it contains only the changed
 	// segments.
@@ -517,6 +529,7 @@ func (s Ship) Encode(dst []byte) []byte {
 	dst = append(dst, flags)
 	dst = binary.BigEndian.AppendUint64(dst, s.Version)
 	dst = binary.BigEndian.AppendUint64(dst, s.Base)
+	dst = binary.BigEndian.AppendUint64(dst, s.Epoch)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s.Removed)))
 	for _, name := range s.Removed {
 		dst = appendString(dst, name)
@@ -541,15 +554,16 @@ func DecodeShip(src []byte) (Ship, error) {
 	if s.TypeName, src, err = takeString(src); err != nil {
 		return s, err
 	}
-	if len(src) < 21 {
+	if len(src) < 29 {
 		return s, fmt.Errorf("%w: truncated flags", ErrBadFrame)
 	}
 	s.Frozen = src[0]&1 != 0
 	s.Partial = src[0]&2 != 0
 	s.Version = binary.BigEndian.Uint64(src[1:9])
 	s.Base = binary.BigEndian.Uint64(src[9:17])
-	nRemoved := int(binary.BigEndian.Uint32(src[17:21]))
-	src = src[21:]
+	s.Epoch = binary.BigEndian.Uint64(src[17:25])
+	nRemoved := int(binary.BigEndian.Uint32(src[25:29]))
+	src = src[29:]
 	if nRemoved < 0 || nRemoved > len(src) {
 		return s, fmt.Errorf("%w: implausible removed count %d", ErrBadFrame, nRemoved)
 	}

@@ -94,6 +94,37 @@ func (i *instrumented) List() ([]edenid.ID, error) {
 	return ids, err
 }
 
+// PutIntent implements Store. Intent writes ride the put metrics: they
+// are the same durable-write path, just a different record kind.
+func (i *instrumented) PutIntent(it MoveIntent) error {
+	start := time.Now()
+	err := i.s.PutIntent(it)
+	i.putLat.Observe(time.Since(start))
+	i.puts.Inc()
+	if err != nil {
+		i.errs.Inc()
+	}
+	return err
+}
+
+// DeleteIntent implements Store.
+func (i *instrumented) DeleteIntent(id edenid.ID) error {
+	err := i.s.DeleteIntent(id)
+	if err != nil {
+		i.errs.Inc()
+	}
+	return err
+}
+
+// ListIntents implements Store.
+func (i *instrumented) ListIntents() ([]MoveIntent, error) {
+	its, err := i.s.ListIntents()
+	if err != nil {
+		i.errs.Inc()
+	}
+	return its, err
+}
+
 // Unwrap exposes the underlying store, for tests and callers that
 // need implementation-specific methods (Memory.FailWith and friends).
 func (i *instrumented) Unwrap() Store { return i.s }

@@ -63,6 +63,13 @@ type Record struct {
 	// Version is the checkpoint sequence number, increasing per
 	// object.
 	Version uint64
+	// Epoch is the object's residency epoch: incremented by every
+	// committed move, constant across checkpoints at one home. Recovery
+	// uses it to order incarnations — a record at epoch E is stale the
+	// moment any node holds the object at an epoch above E — so a
+	// crashed move resolves to exactly one home. Zero (records written
+	// before epochs existed) reads as epoch 1.
+	Epoch uint64
 	// Frozen marks an immutable representation.
 	Frozen bool
 	// Backup marks a checkpoint held on behalf of another node: this
@@ -75,6 +82,23 @@ type Record struct {
 	Home uint32
 	// Rep is the encoded representation (segment wire form).
 	Rep []byte
+}
+
+// MoveIntent is the durable commit record of an in-flight move
+// transaction: the source writes it before the representation leaves
+// the node, and deletes it when the move commits or aborts. An intent
+// that survives a crash marks the transaction in doubt; recovery
+// probes Dest's epoch and resolves to exactly one home.
+//
+//edenvet:ignore capleak the store sits below the capability layer: intents are keyed by unique name and confer no invocation rights
+type MoveIntent struct {
+	// Object is the object mid-move.
+	Object edenid.ID
+	// Dest is the destination node of the transfer.
+	Dest uint32
+	// Epoch is the residency epoch the destination installs under
+	// (the source's epoch + 1).
+	Epoch uint64
 }
 
 // Store is the long-term storage interface the kernel checkpoints
@@ -91,15 +115,25 @@ type Store interface {
 	Delete(id edenid.ID) error
 	// List returns the IDs of all checkpointed objects, sorted.
 	List() ([]edenid.ID, error)
+	// PutIntent durably records an in-flight move transaction,
+	// replacing any previous intent for the same object.
+	PutIntent(it MoveIntent) error
+	// DeleteIntent removes an object's move intent (commit or abort);
+	// deleting an absent intent is not an error.
+	DeleteIntent(id edenid.ID) error
+	// ListIntents returns every surviving move intent, sorted by
+	// object ID — the recovery boot scan.
+	ListIntents() ([]MoveIntent, error)
 }
 
 // Memory is an in-memory Store with injectable failure, used by tests
 // and the failure-injection experiments. The zero value is ready to
 // use.
 type Memory struct {
-	mu   sync.RWMutex
-	recs map[edenid.ID]Record
-	fail error // when non-nil, every operation fails with this
+	mu      sync.RWMutex
+	recs    map[edenid.ID]Record
+	intents map[edenid.ID]MoveIntent
+	fail    error // when non-nil, every operation fails with this
 }
 
 var _ Store = (*Memory)(nil)
@@ -180,6 +214,48 @@ func (m *Memory) List() ([]edenid.ID, error) {
 	return out, nil
 }
 
+// PutIntent implements Store.
+func (m *Memory) PutIntent(it MoveIntent) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fail != nil {
+		return m.fail
+	}
+	if m.intents == nil {
+		m.intents = make(map[edenid.ID]MoveIntent)
+	}
+	m.intents[it.Object] = it
+	return nil
+}
+
+// DeleteIntent implements Store.
+//
+//edenvet:ignore capleak implements Store, which is below the capability layer
+func (m *Memory) DeleteIntent(id edenid.ID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fail != nil {
+		return m.fail
+	}
+	delete(m.intents, id)
+	return nil
+}
+
+// ListIntents implements Store.
+func (m *Memory) ListIntents() ([]MoveIntent, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.fail != nil {
+		return nil, m.fail
+	}
+	out := make([]MoveIntent, 0, len(m.intents))
+	for _, it := range m.intents {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return edenid.Compare(out[i].Object, out[j].Object) < 0 })
+	return out, nil
+}
+
 // Len returns the number of checkpointed objects.
 func (m *Memory) Len() int {
 	m.mu.RLock()
@@ -197,10 +273,14 @@ type File struct {
 
 var _ Store = (*File)(nil)
 
-// fileMagic heads every checkpoint file. CKP2 added the flags byte's
-// backup bit and the home field; CKP1 files fail decode rather than
-// misparse.
-const fileMagic = "EDENCKP2"
+// fileMagic heads every checkpoint file. CKP3 added the residency
+// epoch; CKP2 added the flags byte's backup bit and the home field.
+// Files with an older magic fail decode rather than misparse.
+const fileMagic = "EDENCKP3"
+
+// intentMagic heads every move-intent file (stored beside checkpoints
+// with the .mvi extension).
+const intentMagic = "EDENMVI1"
 
 // NewFile opens (creating if needed) a file-backed store rooted at dir.
 func NewFile(dir string) (*File, error) {
@@ -215,15 +295,18 @@ func (f *File) path(id edenid.ID) string {
 }
 
 // encodeRecord lays a record out as:
-// magic | id | version(8) | flags(1) | home(4) | typeLen(4) type | repLen(4) rep
+// magic | id | version(8) | epoch(8) | flags(1) | home(4) | typeLen(4) type | repLen(4) rep
 // where flags bit 0 is Frozen and bit 1 is Backup.
 func encodeRecord(rec Record) []byte {
-	buf := make([]byte, 0, len(fileMagic)+8+1+4+4+len(rec.TypeName)+4+len(rec.Rep)+edenid.Size)
+	buf := make([]byte, 0, len(fileMagic)+8+8+1+4+4+len(rec.TypeName)+4+len(rec.Rep)+edenid.Size)
 	buf = append(buf, fileMagic...)
 	buf = rec.Object.Encode(buf)
 	buf = append(buf,
 		byte(rec.Version>>56), byte(rec.Version>>48), byte(rec.Version>>40), byte(rec.Version>>32),
 		byte(rec.Version>>24), byte(rec.Version>>16), byte(rec.Version>>8), byte(rec.Version))
+	buf = append(buf,
+		byte(rec.Epoch>>56), byte(rec.Epoch>>48), byte(rec.Epoch>>40), byte(rec.Epoch>>32),
+		byte(rec.Epoch>>24), byte(rec.Epoch>>16), byte(rec.Epoch>>8), byte(rec.Epoch))
 	var flags byte
 	if rec.Frozen {
 		flags |= 1
@@ -250,17 +333,18 @@ func decodeRecord(b []byte) (Record, error) {
 		return rec, fmt.Errorf("%w: %v", ErrFailed, err)
 	}
 	rec.Object = id
-	if len(b) < 17 {
+	if len(b) < 25 {
 		return rec, fmt.Errorf("%w: truncated header", ErrFailed)
 	}
 	for i := 0; i < 8; i++ {
 		rec.Version = rec.Version<<8 | uint64(b[i])
+		rec.Epoch = rec.Epoch<<8 | uint64(b[8+i])
 	}
-	rec.Frozen = b[8]&1 != 0
-	rec.Backup = b[8]&2 != 0
-	rec.Home = uint32(b[9])<<24 | uint32(b[10])<<16 | uint32(b[11])<<8 | uint32(b[12])
-	tl := int(b[13])<<24 | int(b[14])<<16 | int(b[15])<<8 | int(b[16])
-	b = b[17:]
+	rec.Frozen = b[16]&1 != 0
+	rec.Backup = b[16]&2 != 0
+	rec.Home = uint32(b[17])<<24 | uint32(b[18])<<16 | uint32(b[19])<<8 | uint32(b[20])
+	tl := int(b[21])<<24 | int(b[22])<<16 | int(b[23])<<8 | int(b[24])
+	b = b[25:]
 	if tl < 0 || len(b) < tl+4 {
 		return rec, fmt.Errorf("%w: truncated type name", ErrFailed)
 	}
@@ -374,5 +458,117 @@ func (f *File) List() ([]edenid.ID, error) {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return edenid.Compare(out[i], out[j]) < 0 })
+	return out, nil
+}
+
+func (f *File) intentPath(id edenid.ID) string {
+	return filepath.Join(f.dir, fmt.Sprintf("%032x.mvi", id[:]))
+}
+
+// encodeIntent lays an intent out as:
+// magic | id | dest(4) | epoch(8)
+func encodeIntent(it MoveIntent) []byte {
+	buf := make([]byte, 0, len(intentMagic)+edenid.Size+4+8)
+	buf = append(buf, intentMagic...)
+	buf = it.Object.Encode(buf)
+	buf = append(buf, byte(it.Dest>>24), byte(it.Dest>>16), byte(it.Dest>>8), byte(it.Dest))
+	return append(buf,
+		byte(it.Epoch>>56), byte(it.Epoch>>48), byte(it.Epoch>>40), byte(it.Epoch>>32),
+		byte(it.Epoch>>24), byte(it.Epoch>>16), byte(it.Epoch>>8), byte(it.Epoch))
+}
+
+func decodeIntent(b []byte) (MoveIntent, error) {
+	var it MoveIntent
+	if len(b) < len(intentMagic) || string(b[:len(intentMagic)]) != intentMagic {
+		return it, fmt.Errorf("%w: bad intent magic", ErrFailed)
+	}
+	b = b[len(intentMagic):]
+	id, b, err := edenid.Decode(b)
+	if err != nil {
+		return it, fmt.Errorf("%w: %v", ErrFailed, err)
+	}
+	it.Object = id
+	if len(b) != 12 {
+		return it, fmt.Errorf("%w: truncated intent", ErrFailed)
+	}
+	it.Dest = uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	for i := 4; i < 12; i++ {
+		it.Epoch = it.Epoch<<8 | uint64(b[i])
+	}
+	return it, nil
+}
+
+// PutIntent implements Store with the same atomic temp-file-and-rename
+// write as Put: a crash leaves either no intent or a complete one,
+// never a torn record — the recovery decision table depends on that.
+func (f *File) PutIntent(it MoveIntent) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	tmp, err := os.CreateTemp(f.dir, "mvi-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(encodeIntent(it)); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmpName, f.intentPath(it.Object)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// DeleteIntent implements Store. Removing an absent intent is not an
+// error: recovery may race a concurrent resolution to the same verdict.
+//
+//edenvet:ignore capleak implements Store, which is below the capability layer
+func (f *File) DeleteIntent(id edenid.ID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := os.Remove(f.intentPath(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// ListIntents implements Store. Unreadable or corrupt intent files fail
+// the whole scan: boot-time recovery must not silently drop an in-doubt
+// move.
+func (f *File) ListIntents() ([]MoveIntent, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []MoveIntent
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) != ".mvi" {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(f.dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		it, err := decodeIntent(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return edenid.Compare(out[i].Object, out[j].Object) < 0 })
 	return out, nil
 }
