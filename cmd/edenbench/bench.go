@@ -129,6 +129,121 @@ func replBenchType() *eden.TypeManager {
 	return tm
 }
 
+// nestedLagWork is the remote handler latency the pipelined-writer
+// bench suspends on: long enough that overlapping the waits dominates
+// fixed invocation overhead, short enough to keep the run brief.
+const nestedLagWork = time.Millisecond
+
+// lagType's "lag" op models a slow downstream object (a device, a
+// storage server): it simply holds the caller for nestedLagWork.
+func lagType() *eden.TypeManager {
+	tm := eden.NewType("lag")
+	tm.Op(eden.Operation{
+		Name: "lag",
+		Handler: func(c *eden.Call) {
+			time.Sleep(nestedLagWork)
+			c.Return(nil)
+		},
+	})
+	return tm
+}
+
+// pipeWriteType is the writer-pipelining workload: an exclusive write
+// that mutates, then performs a nested invocation of a remote lag
+// object. "relay" uses Call.Invoke, releasing the object's
+// exclusivity across the nested wait; "relayhold" is the comparator
+// that keeps exclusivity via Call.Kernel().Invoke, serializing every
+// writer end-to-end.
+func pipeWriteType() *eden.TypeManager {
+	relay := func(c *eden.Call, hold bool) {
+		err := c.Self().Update(func(r *eden.Representation) error {
+			b, _ := r.Data("n")
+			if len(b) != 8 {
+				b = make([]byte, 8)
+			} else {
+				b = append([]byte(nil), b...)
+			}
+			for i := 7; i >= 0; i-- {
+				b[i]++
+				if b[i] != 0 {
+					break
+				}
+			}
+			r.SetData("n", b)
+			return nil
+		})
+		if err != nil {
+			c.Fail("relay: %v", err)
+			return
+		}
+		nested := &eden.InvokeOptions{Timeout: 10 * time.Second}
+		if hold {
+			_, err = c.Kernel().Invoke(c.Caps[0], "lag", nil, nil, nested)
+		} else {
+			_, err = c.Invoke(c.Caps[0], "lag", nil, nil, nested)
+		}
+		if err != nil {
+			c.Fail("nested lag: %v", err)
+			return
+		}
+		c.Return(nil)
+	}
+	tm := eden.NewType("pipewrite")
+	tm.Op(eden.Operation{
+		Name:    "relay",
+		Access:  eden.AccessWrite,
+		Handler: func(c *eden.Call) { relay(c, false) },
+	})
+	tm.Op(eden.Operation{
+		Name:    "relayhold",
+		Access:  eden.AccessWrite,
+		Handler: func(c *eden.Call) { relay(c, true) },
+	})
+	return tm
+}
+
+// commuteWork is the post-mutation handler latency of the commuting
+// counter — the work (validation, notification, device time) whose
+// overlap commutative batching buys.
+const commuteWork = 500 * time.Microsecond
+
+// commuteBenchType is the commutative-batching workload: an
+// AccessWrite "add" whose executions commute, so the coordinator may
+// run a queued batch of them under one exclusive admission.
+func commuteBenchType() *eden.TypeManager {
+	tm := eden.NewType("commutebench")
+	tm.Op(eden.Operation{
+		Name:     "add",
+		Access:   eden.AccessWrite,
+		Commutes: true,
+		Handler: func(c *eden.Call) {
+			err := c.Self().Update(func(r *eden.Representation) error {
+				b, _ := r.Data("n")
+				if len(b) != 8 {
+					b = make([]byte, 8)
+				} else {
+					b = append([]byte(nil), b...)
+				}
+				for i := 7; i >= 0; i-- {
+					b[i]++
+					if b[i] != 0 {
+						break
+					}
+				}
+				r.SetData("n", b)
+				return nil
+			})
+			if err != nil {
+				c.Fail("add: %v", err)
+				return
+			}
+			time.Sleep(commuteWork)
+			c.Return(nil)
+		},
+	})
+	return tm
+}
+
 // measureOnce runs every scenario once, in order, each on a fresh
 // system with telemetry enabled.
 func measureOnce() ([]BenchResult, error) {
@@ -175,6 +290,30 @@ func measureOnce() ([]BenchResult, error) {
 		return nil, fmt.Errorf("replica read: %w", err)
 	}
 	results = append(results, repl...)
+
+	nested, err := benchWriteNested(480, 8, true)
+	if err != nil {
+		return nil, fmt.Errorf("nested write (pipelined): %w", err)
+	}
+	results = append(results, nested)
+
+	nestedHold, err := benchWriteNested(480, 8, false)
+	if err != nil {
+		return nil, fmt.Errorf("nested write (held): %w", err)
+	}
+	results = append(results, nestedHold)
+
+	c1, err := benchCommute(600, 1)
+	if err != nil {
+		return nil, fmt.Errorf("commute x1: %w", err)
+	}
+	results = append(results, c1)
+
+	c8, err := benchCommute(2400, 8)
+	if err != nil {
+		return nil, fmt.Errorf("commute x8: %w", err)
+	}
+	results = append(results, c8)
 
 	return results, nil
 }
@@ -245,6 +384,9 @@ func runBenchJSON(rev, out, baseline string, tolerance float64, runs int) error 
 	}
 
 	if err := checkReplicaWin(report.Results); err != nil {
+		return err
+	}
+	if err := checkWriteWins(report.Results); err != nil {
 		return err
 	}
 	if baseline != "" {
@@ -689,6 +831,160 @@ func benchReplicaRead(ops, readers int) ([]BenchResult, error) {
 	return []BenchResult{home, repl}, nil
 }
 
+// benchWriteNested measures the writer-pipelining tentpole: `writers`
+// concurrent invokers drive one exclusive object whose write performs
+// a nested invocation of a lag object on another node, over real TCP
+// loopback. With pipelined=true the write releases its exclusivity
+// across the nested wait (Call.Invoke), so the lag latencies of the
+// competing writers overlap; with pipelined=false the comparator holds
+// exclusivity end-to-end (invoke.write.nested.hold) and the writers
+// serialize through every remote round trip. checkWriteWins gates the
+// ratio between the two.
+func benchWriteNested(ops, writers int, pipelined bool) (BenchResult, error) {
+	reg := kernel.NewRegistry()
+	if err := reg.Register(lagType()); err != nil {
+		return BenchResult{}, err
+	}
+	if err := reg.Register(pipeWriteType()); err != nil {
+		return BenchResult{}, err
+	}
+	trHost, err := transport.NewTCP(1, "127.0.0.1:0")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	trCall, err := transport.NewTCP(2, "127.0.0.1:0")
+	if err != nil {
+		trHost.Close()
+		return BenchResult{}, err
+	}
+	trHost.AddPeer(2, trCall.Addr())
+	trCall.AddPeer(1, trHost.Addr())
+	tel := telemetry.New()
+	cfgHost := kernel.DefaultConfig(1, "bench-lag-host")
+	cfgCall := kernel.DefaultConfig(2, "bench-writer")
+	cfgCall.Telemetry = tel
+	kh := kernel.New(cfgHost, trHost, reg, store.NewMemory())
+	defer kh.Close()
+	kc := kernel.New(cfgCall, trCall, reg, store.NewMemory())
+	defer kc.Close()
+
+	lag, err := kh.Create("lag", nil)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	front, err := kc.Create("pipewrite", nil)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	op := "relay"
+	name := "invoke.write.nested"
+	if !pipelined {
+		op = "relayhold"
+		name = "invoke.write.nested.hold"
+	}
+	opts := &kernel.InvokeOptions{Timeout: 30 * time.Second}
+	caps := eden.CapabilityList{lag}
+	// Warm the lag object's location and the TCP connections outside
+	// the timed region.
+	if _, err := kc.Invoke(front, op, nil, caps, opts); err != nil {
+		return BenchResult{}, err
+	}
+
+	perWriter := ops / writers
+	errs := make(chan error, writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := kc.Invoke(front, op, nil, caps, opts); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return BenchResult{}, fmt.Errorf("writer: %w", err)
+	default:
+	}
+	return result(name, perWriter*writers, elapsed, tel, "kernel.invoke.local.latency")
+}
+
+// benchCommute drives one commutative counter with `callers`
+// concurrent invokers of its Commutes "add" op, each keeping a small
+// window of asynchronous submissions in flight so the object's write
+// queue stays deep enough for the coordinator to batch. With
+// callers=1 the adds serialize (one exclusive admission each); with
+// callers=8 a queued run shares one admission and the commuteWork
+// holds overlap. checkWriteWins gates the multiplier.
+func benchCommute(ops, callers int) (BenchResult, error) {
+	sys, err := eden.NewSystem(eden.SystemConfig{Telemetry: true})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer sys.Close()
+	if err := sys.RegisterType(commuteBenchType()); err != nil {
+		return BenchResult{}, err
+	}
+	n, err := sys.AddNode("bench")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	cap, err := n.CreateObject("commutebench")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	opts := &eden.InvokeOptions{Timeout: 30 * time.Second}
+	// Warm the dispatch path outside the timed region.
+	if _, err := n.Invoke(cap, "add", nil, nil, opts); err != nil {
+		return BenchResult{}, err
+	}
+
+	const window = 2
+	perCaller := ops / callers
+	errs := make(chan error, callers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < callers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inflight := make([]*eden.Pending, 0, window)
+			for i := 0; i < perCaller; i++ {
+				inflight = append(inflight, n.InvokeAsync(cap, "add", nil, nil, opts))
+				if len(inflight) == window {
+					if _, err := inflight[0].Wait(); err != nil {
+						errs <- err
+						return
+					}
+					inflight = inflight[1:]
+				}
+			}
+			for _, p := range inflight {
+				if _, err := p.Wait(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return BenchResult{}, fmt.Errorf("caller: %w", err)
+	default:
+	}
+	name := fmt.Sprintf("invoke.write.commute%d", callers)
+	return result(name, perCaller*callers, elapsed, n.Telemetry(), "kernel.invoke.local.latency")
+}
+
 // replicaWinFloor is the minimum ratio of replica-served read
 // throughput over home-only read throughput the bench gate accepts:
 // the replication tentpole must buy at least a 3x read win on a hot
@@ -717,6 +1013,58 @@ func checkReplicaWin(results []BenchResult) error {
 			ratio, repl.OpsPerSec, home.OpsPerSec, replicaWinFloor)
 	}
 	fmt.Printf("replica read win: %.2fx over home-only reads (floor %.1fx)\n", ratio, replicaWinFloor)
+	return nil
+}
+
+// nestedWinFloor is the minimum ratio of pipelined nested-write
+// throughput over hold-across-the-wait throughput: releasing
+// exclusivity across the nested invoke must buy at least 2x or CI
+// fails.
+const nestedWinFloor = 2.0
+
+// commuteWinFloor is the minimum ratio of 8-caller commutative-add
+// throughput over the single-caller figure: batching queued commuting
+// writers into one exclusive admission must buy at least 3x.
+const commuteWinFloor = 3.0
+
+// checkWriteWins enforces the write-path multipliers themselves, like
+// checkReplicaWin does for replica reads: the pipelining and batching
+// machinery cannot quietly degrade into "barely better than holding
+// the object".
+func checkWriteWins(results []BenchResult) error {
+	byName := make(map[string]BenchResult, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	ratio := func(num, den string) (float64, error) {
+		n, okN := byName[num]
+		d, okD := byName[den]
+		if !okN || !okD {
+			return 0, fmt.Errorf("write win: missing scenario (%s=%v %s=%v)", num, okN, den, okD)
+		}
+		if d.OpsPerSec <= 0 {
+			return 0, fmt.Errorf("write win: %s measured %.0f ops/sec", den, d.OpsPerSec)
+		}
+		return n.OpsPerSec / d.OpsPerSec, nil
+	}
+	nested, err := ratio("invoke.write.nested", "invoke.write.nested.hold")
+	if err != nil {
+		return err
+	}
+	if nested < nestedWinFloor {
+		return fmt.Errorf("nested write win: %.2fx (pipelined %.0f vs held %.0f ops/sec) is below the %.1fx floor",
+			nested, byName["invoke.write.nested"].OpsPerSec, byName["invoke.write.nested.hold"].OpsPerSec, nestedWinFloor)
+	}
+	fmt.Printf("nested write win: %.2fx over held exclusivity (floor %.1fx)\n", nested, nestedWinFloor)
+	commute, err := ratio("invoke.write.commute8", "invoke.write.commute1")
+	if err != nil {
+		return err
+	}
+	if commute < commuteWinFloor {
+		return fmt.Errorf("commute win: %.2fx (8 callers %.0f vs 1 caller %.0f ops/sec) is below the %.1fx floor",
+			commute, byName["invoke.write.commute8"].OpsPerSec, byName["invoke.write.commute1"].OpsPerSec, commuteWinFloor)
+	}
+	fmt.Printf("commute write win: %.2fx over a single caller (floor %.1fx)\n", commute, commuteWinFloor)
 	return nil
 }
 

@@ -61,6 +61,8 @@ func main() {
 	dialTimeout := flag.Duration("dial-timeout", 0, "bound on one TCP dial attempt to a peer (0 = transport default)")
 	redialBackoff := flag.Duration("redial-backoff", 0, "initial pause after a failed dial, doubling with jitter per failure (0 = transport default)")
 	readers := flag.Int("readers", 0, "per-object reader pool: concurrent read-only processes of one object (0 = kernel default)")
+	asyncPending := flag.Int("async-pending", 0, "async dispatcher pending-invocation table cap; submissions past it are shed (0 = kernel default)")
+	asyncWorkers := flag.Int("async-workers", 0, "async dispatcher worker-pool size (0 = kernel default)")
 	replicas := flag.Bool("replicas", false, "serve stale-tolerant reads from checkpoint shadows of objects this node backs up")
 	recoverGrace := flag.Duration("recover-grace", 10*time.Second, "refuse failure-recovery promotion of a backed-up object while its home shipped a checkpoint (or this node booted) within this window; 0 promotes immediately")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the fault-injection schedule (0 = faultstore default); faults only fire with a fault probability or -fault-sync-lie set")
@@ -148,6 +150,8 @@ func main() {
 	}
 	cfg := kernel.DefaultConfig(uint32(*node), *name)
 	cfg.ReaderPool = *readers
+	cfg.AsyncPending = *asyncPending
+	cfg.AsyncWorkers = *asyncWorkers
 	cfg.ReplicaServe = *replicas
 	cfg.RecoverGrace = *recoverGrace
 	if tel != nil {
@@ -169,8 +173,8 @@ func main() {
 
 	fmt.Printf("%s listening on %s; peers: %v\n", *name, tr.Addr(), tr.Peers())
 	fmt.Println(`commands: create <type> | invoke <cap> <op> [hexdata] | rinvoke <cap> <op> [hexdata] |
-          checksite <cap> <local|remote|replicated> [site,...] | types | ls |
-          checkpoint <cap> | passivate <cap> | move <cap> <node> | stats |
+          ainvoke <cap> <op> [hexdata] | checksite <cap> <local|remote|replicated> [site,...] |
+          types | ls | checkpoint <cap> | passivate <cap> | move <cap> <node> | stats |
           describe <cap> | show <cap> | where <cap> | quit`)
 	console(k)
 }
@@ -325,6 +329,7 @@ func counterType() *kernel.TypeManager {
 // console runs the operator REPL.
 func console(k *kernel.Kernel) {
 	sc := bufio.NewScanner(os.Stdin)
+	var asyncSeq uint64 // numbers ainvoke submissions for their completion lines
 	prompt := func() { fmt.Printf("%s> ", k.Name()) }
 	for prompt(); sc.Scan(); prompt() {
 		fields := strings.Fields(sc.Text())
@@ -389,6 +394,40 @@ func console(k *kernel.Kernel) {
 			for _, c := range rep.Caps {
 				fmt.Printf("  cap %s\n", hex.EncodeToString(c.Encode(nil)))
 			}
+		// ainvoke submits through the async dispatcher and returns the
+		// prompt immediately; the completion prints when it arrives.
+		case "ainvoke":
+			if len(fields) < 3 {
+				fmt.Println("  usage: ainvoke <cap> <op> [hexdata]")
+				continue
+			}
+			cap, err := parseCap(fields[1])
+			if err != nil {
+				fmt.Println(" ", err)
+				continue
+			}
+			var data []byte
+			if len(fields) > 3 {
+				data, err = hex.DecodeString(fields[3])
+				if err != nil {
+					fmt.Println("  bad hex data:", err)
+					continue
+				}
+			}
+			asyncSeq++
+			seq := asyncSeq
+			p := k.InvokeAsync(cap, fields[2], data, nil, &kernel.InvokeOptions{
+				Timeout: k.Config().DefaultTimeout,
+			})
+			fmt.Printf("  async #%d submitted\n", seq)
+			go func() {
+				rep, err := p.Wait()
+				if err != nil {
+					fmt.Printf("\n  async #%d failed: %v\n", seq, err)
+					return
+				}
+				fmt.Printf("\n  async #%d ok (%d bytes): %s\n", seq, len(rep.Data), hex.EncodeToString(rep.Data))
+			}()
 		case "checksite":
 			if len(fields) < 3 {
 				fmt.Println("  usage: checksite <cap> <local|remote|replicated> [site,...]")

@@ -72,8 +72,12 @@ type (
 	Reply = kernel.Reply
 	// InvokeOptions tunes one invocation (timeout, replica use).
 	InvokeOptions = kernel.InvokeOptions
-	// Pending is an asynchronous invocation in flight.
+	// Pending is an asynchronous invocation in flight; its result is
+	// sticky, so Wait may be called repeatedly.
 	Pending = kernel.Pending
+	// AsyncCompletion is the decoded form of a port-delivered async
+	// completion (see Node.InvokeAsyncPort).
+	AsyncCompletion = kernel.AsyncCompletion
 	// Representation is an object's long-term state: named data and
 	// capability segments.
 	Representation = segment.Representation
@@ -150,6 +154,12 @@ func TypeRight(i int) Rights { return rights.Type(i) }
 // NewType returns an empty type manager with the given name; populate
 // it with Op and Limit, then register it with System.RegisterType.
 func NewType(name string) *TypeManager { return kernel.NewType(name) }
+
+// DecodeAsyncCompletion parses a message received from an async
+// completion port back into the submission id, outcome, and data.
+func DecodeAsyncCompletion(m []byte) (AsyncCompletion, error) {
+	return kernel.DecodeAsyncCompletion(m)
+}
 
 // Errors re-exported from the kernel, so user code can errors.Is
 // against the public package.

@@ -14,9 +14,28 @@ type InvokeOptions struct {
 // Kernel is a stand-in for the invocation API.
 type Kernel struct{}
 
+// Pending is a stand-in async completion handle.
+type Pending struct{}
+
+// Port is a stand-in completion port.
+type Port struct{}
+
 // Invoke performs one invocation.
 func (k *Kernel) Invoke(op string, data []byte, opts *InvokeOptions) error {
 	_, _, _ = op, data, opts
+	return nil
+}
+
+// InvokeAsync submits one invocation to the async dispatcher.
+func (k *Kernel) InvokeAsync(op string, data []byte, opts *InvokeOptions) *Pending {
+	_, _, _ = op, data, opts
+	return &Pending{}
+}
+
+// InvokeAsyncPort submits one invocation whose completion posts to a
+// port.
+func (k *Kernel) InvokeAsyncPort(op string, data []byte, port *Port, opts *InvokeOptions) error {
+	_, _, _, _ = op, data, port, opts
 	return nil
 }
 
@@ -26,4 +45,17 @@ func calls(k *Kernel, caller *InvokeOptions) {
 	_ = k.Invoke("c", nil, &InvokeOptions{Timeout: 0})           // want "hardcodes Timeout: 0"
 	_ = k.Invoke("d", nil, &InvokeOptions{Timeout: time.Second}) // bounded: ok
 	_ = k.Invoke("e", nil, caller)                               // propagated: ok
+}
+
+// Async submissions fix their deadline at submission time, and that
+// deadline also bounds the wait in the dispatcher queue — so an
+// invisible budget is at least as bad as on a synchronous call.
+func asyncCalls(k *Kernel, port *Port, caller *InvokeOptions) {
+	_ = k.InvokeAsync("a", nil, nil)                                            // want "passes nil options"
+	_ = k.InvokeAsync("b", nil, &InvokeOptions{AllowReplica: true})             // want "omit Timeout"
+	_ = k.InvokeAsync("c", nil, &InvokeOptions{Timeout: time.Second})           // bounded: ok
+	_ = k.InvokeAsyncPort("d", nil, port, nil)                                  // want "passes nil options"
+	_ = k.InvokeAsyncPort("e", nil, port, &InvokeOptions{Timeout: 0})           // want "hardcodes Timeout: 0"
+	_ = k.InvokeAsyncPort("f", nil, port, &InvokeOptions{Timeout: time.Second}) // bounded: ok
+	_ = k.InvokeAsyncPort("g", nil, port, caller)                               // propagated: ok
 }

@@ -40,8 +40,11 @@ func checkTimeoutCall(pass *Pass, call *ast.CallExpr) {
 	if !ok {
 		return
 	}
+	// InvokeAsyncPort is an invocation site like the other two: its
+	// deadline is fixed at submission and bounds the dispatcher queue
+	// wait too, so an unbounded one is just as invisible.
 	switch sel.Sel.Name {
-	case "Invoke", "InvokeAsync":
+	case "Invoke", "InvokeAsync", "InvokeAsyncPort":
 	default:
 		return
 	}

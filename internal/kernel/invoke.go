@@ -559,32 +559,3 @@ func (k *Kernel) serveInvoke(env msg.Envelope) {
 func (k *Kernel) serveLocally(req msg.InvokeReq, timeout time.Duration) (msg.InvokeRep, bool, error) {
 	return k.tryLocal(req, req.AllowReplica(), true, timeout)
 }
-
-// Pending is an asynchronous invocation in flight. "Asynchronous
-// invocation also will be possible" — Wait collects the outcome.
-type Pending struct {
-	ch chan pendingResult
-}
-
-type pendingResult struct {
-	rep Reply
-	err error
-}
-
-// Wait blocks until the invocation completes and returns its outcome.
-// It may be called once.
-func (p *Pending) Wait() (Reply, error) {
-	r := <-p.ch
-	return r.rep, r.err
-}
-
-// InvokeAsync starts an invocation without suspending the caller; the
-// returned Pending collects the reply.
-func (k *Kernel) InvokeAsync(target capability.Capability, operation string, data []byte, caps capability.List, opts *InvokeOptions) *Pending {
-	p := &Pending{ch: make(chan pendingResult, 1)}
-	go func() {
-		rep, err := k.Invoke(target, operation, data, caps, opts)
-		p.ch <- pendingResult{rep: rep, err: err}
-	}()
-	return p
-}

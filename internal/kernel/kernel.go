@@ -65,6 +65,16 @@ type Config struct {
 	// queue rejects early rather than growing without bound). 0 uses
 	// DefaultAdmissionQueue.
 	AdmissionQueue int
+	// AsyncPending caps the node's async dispatcher: how many
+	// InvokeAsync/InvokeAsyncPort submissions may sit in the
+	// pending-invocation table (queued plus executing) at once.
+	// Submissions past the cap are shed immediately with ErrTimeout
+	// and counted under kernel.async.shed. 0 uses DefaultAsyncPending.
+	AsyncPending int
+	// AsyncWorkers sizes the async dispatcher's worker pool: how many
+	// async invocations execute concurrently per node. 0 uses
+	// DefaultAsyncWorkers.
+	AsyncWorkers int
 	// RecoverGrace fences failure-recovery promotion: a checksite
 	// refuses to claim a backed-up object as its new home while the
 	// object's real home shipped a checkpoint within this window (or
@@ -212,6 +222,16 @@ type Kernel struct {
 
 	vprocs chan struct{} // virtual processor tokens (nil = unbounded)
 
+	// The async dispatcher (async.go): a bounded pending-invocation
+	// table drained by a lazily started worker pool. asyncMu fences
+	// submission against Close's drain so no entry is stranded.
+	asyncMu     sync.Mutex
+	asyncQ      chan *asyncCall
+	asyncStop   chan struct{}
+	asyncClosed bool
+	asyncOnce   sync.Once
+	asyncID     atomic.Uint64
+
 	stLocal, stRemote, stServed, stChases atomic.Int64
 	stReinc, stCkpt, stCkptBytes          atomic.Int64
 	stCkptIncr                            atomic.Int64
@@ -243,6 +263,12 @@ func New(cfg Config, tr transport.Transport, types *Registry, st store.Store) *K
 	if cfg.AdmissionQueue <= 0 {
 		cfg.AdmissionQueue = DefaultAdmissionQueue
 	}
+	if cfg.AsyncPending <= 0 {
+		cfg.AsyncPending = DefaultAsyncPending
+	}
+	if cfg.AsyncWorkers <= 0 {
+		cfg.AsyncWorkers = DefaultAsyncWorkers
+	}
 	if st == nil {
 		st = store.NewMemory()
 	}
@@ -269,6 +295,8 @@ func New(cfg Config, tr transport.Transport, types *Registry, st store.Store) *K
 		pend:     make(map[uint64]chan msg.InvokeRep),
 		served:   make(map[servedKey]*servedEntry),
 	}
+	k.asyncQ = make(chan *asyncCall, cfg.AsyncPending)
+	k.asyncStop = make(chan struct{})
 	if cfg.VirtualProcessors > 0 {
 		k.vprocs = make(chan struct{}, cfg.VirtualProcessors)
 	}
@@ -658,6 +686,9 @@ func (k *Kernel) Close() error {
 		delete(k.pend, corr)
 	}
 	k.pendMu.Unlock()
+	// Stop the async dispatcher: every queued submission resolves with
+	// ErrClosed rather than dangling past the node's lifetime.
+	k.drainAsync()
 	return k.tr.Close()
 }
 

@@ -80,9 +80,10 @@ type Object struct {
 	home    uint32
 
 	inbox    chan *callCtx
-	procDone chan Access   // reader/writer process completions, back to the coordinator
-	down     chan struct{} // closed when active state is destroyed
-	resume   chan struct{} // pinged when an aborted move re-admits held calls
+	procDone chan procExit  // reader/writer process completions, back to the coordinator
+	yield    chan *yieldReq // writer exclusivity release/re-acquire (Call.Invoke)
+	down     chan struct{}  // closed when active state is destroyed
+	resume   chan struct{}  // pinged when an aborted move re-admits held calls
 	downOnce sync.Once
 
 	classTok map[string]chan struct{}
@@ -121,10 +122,12 @@ func (k *Kernel) newObject(id edenid.ID, tm *TypeManager, rep *segment.Represent
 		version: version,
 		frozen:  frozen,
 		inbox:   make(chan *callCtx, 128),
-		// At most ReaderPool readers or one writer run at a time, so a
-		// buffer of pool+1 guarantees completion sends never block —
-		// even after the coordinator has exited at teardown.
-		procDone: make(chan Access, k.cfg.ReaderPool+1),
+		// At most ReaderPool readers or maxWriteBatch batched writers
+		// run at a time, so a buffer covering both bounds guarantees
+		// completion sends never block — even after the coordinator has
+		// exited at teardown.
+		procDone: make(chan procExit, k.cfg.ReaderPool+maxWriteBatch+1),
+		yield:    make(chan *yieldReq),
 		down:     make(chan struct{}),
 		resume:   make(chan struct{}, 1),
 		classTok: make(map[string]chan struct{}),
@@ -288,19 +291,48 @@ type schedCall struct {
 	op *Operation
 }
 
+// maxWriteBatch bounds how many commuting writers share one exclusive
+// admission — the write-side analogue of the reader pool.
+const maxWriteBatch = 16
+
+// procExit is one reader/writer process completion reported back to
+// the coordinator. holding is false when a writer yielded its
+// exclusive slot for a nested invoke and never re-acquired it: the
+// slot was already released when the yield was processed, so counting
+// this exit again would free exclusivity twice.
+type procExit struct {
+	cls     Access
+	holding bool
+}
+
+// yieldReq is a writer process releasing or re-acquiring the object's
+// exclusivity around a nested invocation (Call.Invoke). A nil grant
+// marks a release; a non-nil grant awaits re-acquisition — true once
+// exclusivity is held again, false if the incarnation moved away or
+// was destroyed while the writer was suspended.
+type yieldReq struct {
+	grant chan bool
+}
+
 // coordState is the coordinator's scheduling state: Eden's "tree of
 // processes" for one object. Read-only calls fan out to a bounded pool
 // of concurrently executing processes; mutating calls drain the
 // readers and run exclusively, in arrival order, with preference over
-// newly arriving readers. All fields are owned by the coordinator
+// newly arriving readers. Two extensions pipeline the write path:
+// writers suspended in a nested invoke release exclusivity into
+// resumeQ and re-acquire with priority over everything queued, and a
+// consecutive run of queued calls to one Commutes operation is
+// batched into a single exclusive admission (writers counts the
+// processes sharing it). All fields are owned by the coordinator
 // goroutine — no lock guards them.
 type coordState struct {
 	o       *Object
 	readQ   []*schedCall // admitted read-only calls awaiting a pool slot
 	writeQ  []*schedCall // admitted mutating calls awaiting exclusivity
+	resumeQ []*yieldReq  // suspended writers awaiting re-acquisition
 	held    []*callCtx   // calls arriving during a move
 	readers int          // reader processes currently executing
-	writer  bool         // a writer process is executing
+	writers int          // writer processes holding the current exclusive admission
 }
 
 // coordinate is the coordinator process: "kernel code responsible for
@@ -333,8 +365,10 @@ func (o *Object) coordinate() {
 			default:
 				cs.arrive(c)
 			}
-		case cls := <-o.procDone:
-			cs.complete(cls)
+		case e := <-o.procDone:
+			cs.complete(e)
+		case q := <-o.yield:
+			cs.handleYield(q)
 		case <-o.resume:
 			cs.readmit()
 		case <-o.down:
@@ -355,6 +389,10 @@ func (cs *coordState) readmit() {
 	for _, c := range held {
 		cs.arrive(c)
 	}
+	// A writer suspended across the whole move attempt has no held
+	// call to re-enter through; reschedule so its parked re-acquisition
+	// is granted even when nothing else arrived.
+	cs.schedule()
 }
 
 // notifyResume wakes the coordinator to re-admit held calls. Non-
@@ -431,35 +469,73 @@ func (cs *coordState) arrive(c *callCtx) {
 }
 
 // complete processes one reader/writer process completion and
-// reschedules.
-func (cs *coordState) complete(cls Access) {
-	switch cls {
+// reschedules. A writer that yielded and never re-acquired already
+// released its slot when the yield was processed.
+func (cs *coordState) complete(e procExit) {
+	switch e.cls {
 	case AccessRead:
 		cs.readers--
 	case AccessWrite:
-		cs.writer = false
+		if e.holding {
+			cs.writers--
+		}
 	}
 	cs.schedule()
 }
 
-// schedule is the reader/writer admission policy. Expired calls are
-// shed first — they cost a queue slot, never a process. Then: a
-// pending writer waits only for running readers to drain (writer
-// preference — queued readers stay queued), writers run one at a time
-// in arrival order, and readers fan out up to the pool bound.
-func (cs *coordState) schedule() {
-	cs.shedExpired()
-	if cs.writer {
+// handleYield processes one writer exclusivity transition. A release
+// frees the writer's slot for the duration of its nested invoke; a
+// re-acquisition parks in resumeQ until the object is otherwise idle.
+func (cs *coordState) handleYield(q *yieldReq) {
+	if q.grant == nil {
+		cs.writers--
+		cs.o.k.tel.writerYield.Inc()
+		cs.schedule()
 		return
 	}
-	for len(cs.writeQ) > 0 && cs.readers == 0 && !cs.writer {
-		sc := cs.writeQ[0]
-		cs.writeQ = cs.writeQ[1:]
-		if cs.spawn(sc.op, sc.c, AccessWrite) {
-			cs.writer = true
+	cs.resumeQ = append(cs.resumeQ, q)
+	cs.schedule()
+}
+
+// schedule is the reader/writer admission policy. Expired calls are
+// shed first — they cost a queue slot, never a process. Then, in
+// strict priority order: suspended writers re-acquire exclusivity
+// (they hold partially applied work and predate everything queued),
+// a pending writer waits only for running readers to drain (writer
+// preference — queued readers stay queued), writers run one exclusive
+// admission at a time in arrival order — shared by a consecutive run
+// of commuting calls — and readers fan out up to the pool bound.
+func (cs *coordState) schedule() {
+	cs.shedExpired()
+	for len(cs.resumeQ) > 0 {
+		if cs.writers > 0 || cs.readers > 0 {
+			return // re-acquisition waits for the object to go idle
+		}
+		granted, keep := cs.regrant(cs.resumeQ[0])
+		if keep {
+			return // mid-move: stays parked until abort or commit
+		}
+		cs.resumeQ = cs.resumeQ[1:]
+		if granted {
+			cs.writers++
 		}
 	}
-	if cs.writer || len(cs.writeQ) > 0 {
+	if cs.writers > 0 {
+		return
+	}
+	for len(cs.writeQ) > 0 && cs.readers == 0 && cs.writers == 0 {
+		sc := cs.writeQ[0]
+		cs.writeQ = cs.writeQ[1:]
+		if !cs.spawn(sc.op, sc.c, AccessWrite) {
+			continue
+		}
+		cs.writers++
+		if sc.op.Commutes {
+			cs.batchCommuting(sc.op)
+		}
+		break
+	}
+	if cs.writers > 0 || len(cs.writeQ) > 0 {
 		return
 	}
 	for len(cs.readQ) > 0 && cs.readers < cs.o.k.cfg.ReaderPool {
@@ -469,6 +545,50 @@ func (cs *coordState) schedule() {
 			cs.readers++
 		}
 	}
+}
+
+// batchCommuting extends a freshly granted exclusive admission to the
+// consecutive run of queued calls for the same Commutes operation:
+// their effects commute by declaration, so running them concurrently
+// preserves writer exclusivity toward everything else while their
+// handler latencies overlap. The run stops at the first queued call
+// for a different operation (order toward non-commuting work is
+// preserved), at the batch bound, or when a lifecycle re-check fails.
+func (cs *coordState) batchCommuting(op *Operation) {
+	for len(cs.writeQ) > 0 && cs.writers < maxWriteBatch && cs.writeQ[0].op == op {
+		sc := cs.writeQ[0]
+		cs.writeQ = cs.writeQ[1:]
+		if !cs.spawn(sc.op, sc.c, AccessWrite) {
+			return
+		}
+		cs.writers++
+		cs.o.k.tel.writeBatched.Inc()
+	}
+}
+
+// regrant attempts to restore exclusivity to one suspended writer,
+// re-checking lifecycle state under the lock exactly like spawn: the
+// incarnation may have moved or died while the writer was away, and
+// resuming into a shipped representation would fork the object.
+func (cs *coordState) regrant(q *yieldReq) (granted, keep bool) {
+	o := cs.o
+	o.sched.Lock()
+	switch o.state {
+	case stMoving:
+		// The move may still abort; keep the writer parked until the
+		// coordinator learns the outcome (resume ping or down).
+		o.sched.Unlock()
+		return false, true
+	case stDown:
+		o.sched.Unlock()
+		q.grant <- false
+		return false, false
+	}
+	o.running++
+	o.lastInvoked = o.k.tick.Add(1)
+	o.sched.Unlock()
+	q.grant <- true
+	return true, false
 }
 
 // shedExpired drops queued calls whose caller deadline has passed:
@@ -580,6 +700,13 @@ func (cs *coordState) drain() {
 			c.reply(msg.InvokeRep{Status: msg.StatusCrashed})
 		}
 	}
+	// Suspended writers parked for re-acquisition observe the terminal
+	// state: their Call.Invoke returns the lifecycle error instead of
+	// resuming into a shipped or destroyed representation.
+	for _, q := range cs.resumeQ {
+		q.grant <- false
+	}
+	cs.resumeQ = nil
 }
 
 // unqueue settles the call's admission-queue depth charge. Safe to
@@ -617,18 +744,34 @@ func movedDest(rep msg.InvokeRep) (uint32, bool) {
 //edenvet:ignore rightsgate arrive verifies Invoke plus the operation's declared rights on the coordinator before the call is scheduled
 func (o *Object) runProcess(op *Operation, c *callCtx, cls Access) {
 	o.k.tel.serveConc.Add(1)
+	call := &Call{
+		k:         o.k,
+		self:      o,
+		Operation: c.op,
+		Data:      c.data,
+		Caps:      c.caps,
+		Rights:    c.rts,
+		status:    msg.StatusOK,
+		access:    cls,
+		holding:   true,
+	}
 	defer func() {
 		o.k.tel.serveConc.Add(-1)
-		o.sched.Lock()
-		o.running--
-		if o.running == 0 {
-			o.drained.Broadcast()
+		// A writer that yielded for a nested invoke and never got
+		// exclusivity back already left the running count and released
+		// its slot; settling either again would double-free.
+		if call.holding {
+			o.sched.Lock()
+			o.running--
+			if o.running == 0 {
+				o.drained.Broadcast()
+			}
+			o.sched.Unlock()
 		}
-		o.sched.Unlock()
 		if cls == AccessRead || cls == AccessWrite {
-			// Buffered past the pool bound; never blocks, even after
-			// the coordinator exited at teardown.
-			o.procDone <- cls
+			// Buffered past the pool and batch bounds; never blocks,
+			// even after the coordinator exited at teardown.
+			o.procDone <- procExit{cls: cls, holding: call.holding}
 		}
 	}()
 
@@ -643,16 +786,6 @@ func (o *Object) runProcess(op *Operation, c *callCtx, cls Access) {
 			c.reply(msg.InvokeRep{Status: msg.StatusCrashed})
 			return
 		}
-	}
-
-	call := &Call{
-		k:         o.k,
-		self:      o,
-		Operation: c.op,
-		Data:      c.data,
-		Caps:      c.caps,
-		Rights:    c.rts,
-		status:    msg.StatusOK,
 	}
 	func() {
 		defer func() {
@@ -712,6 +845,15 @@ type Call struct {
 	status    msg.Status
 	replyData []byte
 	replyCaps capability.List
+
+	// access is the process's scheduling class; holding reports
+	// whether the process currently counts in o.running and (for a
+	// writer) holds its exclusive slot. Only the handler goroutine
+	// touches holding after dispatch: a writer clears it across the
+	// yield window of a nested Call.Invoke and restores it on
+	// re-acquisition.
+	access  Access
+	holding bool
 }
 
 // Self returns the object executing the operation.
@@ -736,6 +878,105 @@ func (c *Call) ReturnCaps(caps ...capability.Capability) {
 func (c *Call) Fail(format string, args ...interface{}) {
 	c.status = msg.StatusError
 	c.replyData = []byte(fmt.Sprintf(format, args...))
+}
+
+// Invoke performs a nested invocation from inside this operation's
+// process. For an AccessWrite process the object's exclusivity is
+// released across the wait — the coordinator may admit readers, other
+// writers, a checkpoint, a passivation, even a move — and re-acquired
+// before the handler resumes, so a writer blocked on another object
+// no longer holds its home object idle end-to-end. Re-acquisition
+// fails (wrapping ErrMoving or ErrCrashed) when the incarnation moved
+// away or was destroyed while the writer was suspended; the handler
+// must then return without touching the representation — its local
+// copy is shipped or gone, and any mutation would be silently lost.
+// Mutations applied before the yield travel with a move and are
+// captured by a checkpoint taken during the window, so handlers that
+// need all-or-nothing effects should mutate only after the nested
+// invoke returns. Read and shared processes delegate to Kernel.Invoke
+// unchanged, as does Call.Kernel().Invoke for writers that must hold
+// exclusivity across the wait.
+func (c *Call) Invoke(target capability.Capability, operation string, data []byte, caps capability.List, opts *InvokeOptions) (Reply, error) {
+	if c.access != AccessWrite || !c.holding {
+		return c.k.Invoke(target, operation, data, caps, opts)
+	}
+	c.yieldExclusivity()
+	rep, err := c.k.Invoke(target, operation, data, caps, opts)
+	if rerr := c.reacquireExclusivity(); rerr != nil {
+		return Reply{}, rerr
+	}
+	return rep, err
+}
+
+// InvokeAsync starts a nested invocation through the node's async
+// dispatcher without suspending the process; exclusivity is retained,
+// since nothing blocks. A writer that wants to overlap the wait with
+// other work can fire here, mutate, and collect with Pending.Wait —
+// but Wait itself holds exclusivity; use Call.Invoke where the wait
+// should release the object.
+func (c *Call) InvokeAsync(target capability.Capability, operation string, data []byte, caps capability.List, opts *InvokeOptions) *Pending {
+	return c.k.InvokeAsync(target, operation, data, caps, opts)
+}
+
+// yieldExclusivity releases a writer's exclusive slot: the process
+// leaves the running count (so a move's or passivation's quiesce can
+// proceed) and tells the coordinator to free the admission. The
+// coordinator may already be gone at teardown; the down channel
+// covers that.
+func (c *Call) yieldExclusivity() {
+	o := c.self
+	c.holding = false
+	o.sched.Lock()
+	o.running--
+	if o.running == 0 {
+		o.drained.Broadcast()
+	}
+	o.sched.Unlock()
+	select {
+	case o.yield <- &yieldReq{}:
+	case <-o.down:
+	}
+}
+
+// reacquireExclusivity parks the writer at the coordinator until the
+// object is idle again and lifecycle state permits resumption.
+func (c *Call) reacquireExclusivity() error {
+	o := c.self
+	q := &yieldReq{grant: make(chan bool, 1)}
+	select {
+	case o.yield <- q:
+	case <-o.down:
+		return c.lostExclusivity()
+	}
+	var ok bool
+	select {
+	case ok = <-q.grant:
+	case <-o.down:
+		// The coordinator's drain answers parked requests; prefer its
+		// verdict if it raced the down observation.
+		select {
+		case ok = <-q.grant:
+		default:
+		}
+	}
+	if !ok {
+		return c.lostExclusivity()
+	}
+	c.holding = true
+	return nil
+}
+
+// lostExclusivity names the lifecycle state that ended a suspended
+// writer's incarnation mid-invoke.
+func (c *Call) lostExclusivity() error {
+	o := c.self
+	o.sched.Lock()
+	moved := o.movedTo
+	o.sched.Unlock()
+	if moved != 0 {
+		return fmt.Errorf("%w: object moved to node %d during nested invoke", ErrMoving, moved)
+	}
+	return fmt.Errorf("%w: incarnation destroyed during nested invoke", ErrCrashed)
 }
 
 // SegmentInfo describes one representation segment in an anatomy dump.

@@ -1,0 +1,514 @@
+package kernel
+
+// Tests for writer pipelining: a writer suspended in a nested
+// Call.Invoke releases its object's exclusivity across the wait and
+// re-acquires before resuming; queued invocations of a Commutes
+// operation share one exclusive admission. The lifecycle matrix —
+// move, checkpoint, passivate, crash arriving during the released
+// window — verifies the re-acquire observes the new incarnation state
+// instead of resuming into a shipped or destroyed object.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eden/internal/capability"
+	"eden/internal/segment"
+)
+
+// pipelineRig wires the canonical writer-pipelining topology: a
+// "front" object whose relay writer mutates, suspends in a nested
+// invoke of a "gate" object, and mutates again after resuming.
+type pipelineRig struct {
+	entered   chan struct{} // closed when relay is inside the nested invoke
+	release   chan struct{} // closed by the test to let the gate return
+	nestedErr chan error    // relay's nested-invoke outcome, buffered
+}
+
+func newPipelineRig() *pipelineRig {
+	return &pipelineRig{
+		entered:   make(chan struct{}),
+		release:   make(chan struct{}),
+		nestedErr: make(chan error, 1),
+	}
+}
+
+// gateType's "hold" operation parks until the rig is released.
+func (pr *pipelineRig) gateType() *TypeManager {
+	tm := NewType("gate")
+	tm.Op(Operation{
+		Name: "hold",
+		Handler: func(c *Call) {
+			<-pr.release
+			c.Return([]byte("released"))
+		},
+	})
+	return tm
+}
+
+// frontType's relay is the pipelined writer under test: it records
+// "pre" before the nested invoke and "done" after, so the lifecycle
+// tests can distinguish state captured during the released window
+// from state applied after resumption. The capability parameter names
+// the gate. hold is the contrast case that keeps exclusivity across
+// the nested wait via Call.Kernel().Invoke.
+func (pr *pipelineRig) frontType() *TypeManager {
+	set := func(c *Call, key string) bool {
+		err := c.Self().Update(func(r *segment.Representation) error {
+			r.SetData(key, []byte{1})
+			return nil
+		})
+		if err != nil {
+			c.Fail("set %s: %v", key, err)
+			return false
+		}
+		return true
+	}
+	relay := func(c *Call, nested func(capability.Capability) (Reply, error)) {
+		if !set(c, "pre") {
+			return
+		}
+		close(pr.entered)
+		_, err := nested(c.Caps[0])
+		pr.nestedErr <- err
+		if err != nil {
+			c.Fail("nested invoke: %v", err)
+			return
+		}
+		if !set(c, "done") {
+			return
+		}
+		c.Return(nil)
+	}
+	tm := NewType("front")
+	tm.Op(Operation{
+		Name:   "relay",
+		Access: AccessWrite,
+		Handler: func(c *Call) {
+			relay(c, func(gate capability.Capability) (Reply, error) {
+				return c.Invoke(gate, "hold", nil, nil, nil)
+			})
+		},
+	})
+	tm.Op(Operation{
+		Name:   "relayhold",
+		Access: AccessWrite,
+		Handler: func(c *Call) {
+			relay(c, func(gate capability.Capability) (Reply, error) {
+				return c.Kernel().Invoke(gate, "hold", nil, nil, nil)
+			})
+		},
+	})
+	tm.Op(Operation{
+		Name:   "bump",
+		Access: AccessWrite,
+		Handler: func(c *Call) {
+			if set(c, "bumped") {
+				c.Return(nil)
+			}
+		},
+	})
+	tm.Op(Operation{
+		Name:   "peek",
+		Access: AccessRead,
+		Handler: func(c *Call) {
+			out := make([]byte, 3)
+			c.Self().View(func(r *segment.Representation) {
+				for i, key := range []string{"pre", "done", "bumped"} {
+					if b, err := r.Data(key); err == nil && len(b) == 1 {
+						out[i] = b[0]
+					}
+				}
+			})
+			c.Return(out)
+		},
+	})
+	tm.Op(Operation{
+		Name: "save",
+		Handler: func(c *Call) {
+			if err := c.Self().Checkpoint(); err != nil {
+				c.Fail("checkpoint: %v", err)
+			}
+		},
+	})
+	return tm
+}
+
+// startRelay launches the relay invocation and blocks until the
+// writer is suspended inside its nested invoke.
+func (pr *pipelineRig) startRelay(t *testing.T, k *Kernel, front, gate capability.Capability, op string) <-chan error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() {
+		_, err := k.Invoke(front, op, nil, capability.List{gate}, nil)
+		done <- err
+	}()
+	select {
+	case <-pr.entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("relay never reached its nested invoke")
+	}
+	return done
+}
+
+func peek(t *testing.T, k *Kernel, front capability.Capability) (pre, done, bumped byte) {
+	t.Helper()
+	rep, err := k.Invoke(front, "peek", nil, nil, nil)
+	if err != nil {
+		t.Fatalf("peek: %v", err)
+	}
+	if len(rep.Data) != 3 {
+		t.Fatalf("peek reply = %v", rep.Data)
+	}
+	return rep.Data[0], rep.Data[1], rep.Data[2]
+}
+
+func TestWriterYieldAdmitsReadersAndWriters(t *testing.T) {
+	pr := newPipelineRig()
+	k, reg, tel := newSchedKernel(t, nil)
+	mustRegister(t, reg, pr.gateType(), pr.frontType())
+	gate, err := k.Create("gate", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := k.Create("front", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relayDone := pr.startRelay(t, k, front, gate, "relay")
+
+	// The writer is suspended in its nested invoke; its exclusivity is
+	// released, so a reader AND another writer both get through while
+	// it waits — bounded timeouts make a regression fail fast, not
+	// hang.
+	short := &InvokeOptions{Timeout: 2 * time.Second}
+	if _, err := k.Invoke(front, "peek", nil, nil, short); err != nil {
+		t.Fatalf("reader during released window: %v", err)
+	}
+	if _, err := k.Invoke(front, "bump", nil, nil, short); err != nil {
+		t.Fatalf("writer during released window: %v", err)
+	}
+	if got := tel.Counter(metricWriterYield).Value(); got < 1 {
+		t.Errorf("%s = %d, want >= 1", metricWriterYield, got)
+	}
+
+	close(pr.release)
+	if err := <-relayDone; err != nil {
+		t.Fatalf("relay: %v", err)
+	}
+	if err := <-pr.nestedErr; err != nil {
+		t.Fatalf("nested invoke: %v", err)
+	}
+	pre, done, bumped := peek(t, k, front)
+	if pre != 1 || done != 1 || bumped != 1 {
+		t.Errorf("state = (pre=%d done=%d bumped=%d), want all 1", pre, done, bumped)
+	}
+}
+
+func TestWriterHoldBlocksReaders(t *testing.T) {
+	pr := newPipelineRig()
+	k, reg, _ := newSchedKernel(t, nil)
+	mustRegister(t, reg, pr.gateType(), pr.frontType())
+	gate, err := k.Create("gate", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := k.Create("front", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relayDone := pr.startRelay(t, k, front, gate, "relayhold")
+
+	// Call.Kernel().Invoke keeps the old semantics: exclusivity is
+	// held across the nested wait, so a reader with a short budget
+	// times out instead of being admitted.
+	if _, err := k.Invoke(front, "peek", nil, nil, &InvokeOptions{Timeout: 150 * time.Millisecond}); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("reader while writer holds: err = %v, want ErrTimeout", err)
+	}
+
+	close(pr.release)
+	if err := <-relayDone; err != nil {
+		t.Fatalf("relayhold: %v", err)
+	}
+	if err := <-pr.nestedErr; err != nil {
+		t.Fatalf("nested invoke: %v", err)
+	}
+	pre, done, _ := peek(t, k, front)
+	if pre != 1 || done != 1 {
+		t.Errorf("state = (pre=%d done=%d), want both 1", pre, done)
+	}
+}
+
+func TestCommuteBatching(t *testing.T) {
+	const callers = 8
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var cur, max, total atomic.Int64
+	tm := NewType("acc")
+	tm.Op(Operation{
+		Name:   "block",
+		Access: AccessWrite,
+		Handler: func(c *Call) {
+			close(entered)
+			<-release
+			c.Return(nil)
+		},
+	})
+	tm.Op(Operation{
+		Name:     "add",
+		Access:   AccessWrite,
+		Commutes: true,
+		Handler: func(c *Call) {
+			n := cur.Add(1)
+			for {
+				m := max.Load()
+				if n <= m || max.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			time.Sleep(20 * time.Millisecond) // make overlap observable
+			cur.Add(-1)
+			total.Add(1)
+			c.Return(nil)
+		},
+	})
+	k, reg, tel := newSchedKernel(t, nil)
+	mustRegister(t, reg, tm)
+	cap, err := k.Create("acc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the object with a blocking writer so the commuting calls
+	// pile up in the write queue, then release: the scheduler must
+	// admit the consecutive run as one exclusive batch.
+	blockDone := make(chan error, 1)
+	go func() {
+		_, err := k.Invoke(cap, "block", nil, nil, nil)
+		blockDone <- err
+	}()
+	<-entered
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := k.Invoke(cap, "add", nil, nil, nil); err != nil {
+				t.Errorf("add: %v", err)
+			}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond) // let the adds reach the write queue
+	close(release)
+	if err := <-blockDone; err != nil {
+		t.Fatalf("block: %v", err)
+	}
+	wg.Wait()
+
+	if got := total.Load(); got != callers {
+		t.Errorf("adds completed = %d, want %d", got, callers)
+	}
+	if got := max.Load(); got < 2 {
+		t.Errorf("max concurrent commuting writers = %d, want >= 2 (batching never overlapped)", got)
+	}
+	if got := tel.Counter(metricWriteBatched).Value(); got < 1 {
+		t.Errorf("%s = %d, want >= 1", metricWriteBatched, got)
+	}
+}
+
+// ---- lifecycle arriving during the released window ----
+
+func TestMoveDuringYieldedNestedInvoke(t *testing.T) {
+	pr := newPipelineRig()
+	s := newSys(t, 1, 2)
+	mustRegister(t, s.reg, pr.gateType(), pr.frontType())
+	gate, err := s.ks[2].Create("gate", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := s.ks[1].Create("front", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relayDone := pr.startRelay(t, s.ks[1], front, gate, "relay")
+
+	// The writer yielded, so the move's quiesce has nothing to wait
+	// for: the whole transaction commits while the writer is away.
+	obj, err := s.ks[1].Object(front.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-obj.Move(2); err != nil {
+		t.Fatalf("move during released window: %v", err)
+	}
+	close(pr.release)
+
+	// Re-acquisition must observe the shipped incarnation and fail
+	// with ErrMoving; the handler bails without touching the
+	// representation, so the caller sees its failure.
+	if err := <-pr.nestedErr; !errors.Is(err, ErrMoving) {
+		t.Fatalf("nested invoke after move: err = %v, want ErrMoving", err)
+	}
+	if err := <-relayDone; !errors.Is(err, ErrInvocationFailed) {
+		t.Fatalf("relay after move: err = %v, want ErrInvocationFailed", err)
+	}
+	// The new home carries the pre-yield mutation (it shipped with the
+	// checkpoint) and must NOT carry the post-resume one.
+	pre, done, _ := peek(t, s.ks[1], front)
+	if pre != 1 || done != 0 {
+		t.Errorf("state at new home = (pre=%d done=%d), want (1, 0)", pre, done)
+	}
+}
+
+func TestCrashDuringYieldedNestedInvoke(t *testing.T) {
+	pr := newPipelineRig()
+	s := newSys(t, 1)
+	mustRegister(t, s.reg, pr.gateType(), pr.frontType())
+	gate, err := s.ks[1].Create("gate", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := s.ks[1].Create("front", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint the initial state so the object can reincarnate
+	// after the crash below.
+	if _, err := s.ks[1].Invoke(front, "save", nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	relayDone := pr.startRelay(t, s.ks[1], front, gate, "relay")
+
+	obj, err := s.ks[1].Object(front.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj.Crash()
+	close(pr.release)
+
+	if err := <-pr.nestedErr; !errors.Is(err, ErrCrashed) {
+		t.Fatalf("nested invoke after crash: err = %v, want ErrCrashed", err)
+	}
+	if err := <-relayDone; !errors.Is(err, ErrCrashed) {
+		t.Fatalf("relay after crash: err = %v, want ErrCrashed", err)
+	}
+	// Reincarnation restores the last checkpoint: neither the
+	// uncheckpointed pre-yield mutation nor the aborted post-resume
+	// one survives.
+	pre, done, _ := peek(t, s.ks[1], front)
+	if pre != 0 || done != 0 {
+		t.Errorf("state after reincarnation = (pre=%d done=%d), want (0, 0)", pre, done)
+	}
+}
+
+func TestCheckpointDuringYieldedNestedInvoke(t *testing.T) {
+	pr := newPipelineRig()
+	s := newSys(t, 1)
+	mustRegister(t, s.reg, pr.gateType(), pr.frontType())
+	gate, err := s.ks[1].Create("gate", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := s.ks[1].Create("front", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relayDone := pr.startRelay(t, s.ks[1], front, gate, "relay")
+
+	// A checkpoint during the released window captures the pre-yield
+	// mutation; the suspended writer is unaffected and resumes.
+	obj, err := s.ks[1].Object(front.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint during released window: %v", err)
+	}
+	close(pr.release)
+	if err := <-relayDone; err != nil {
+		t.Fatalf("relay: %v", err)
+	}
+	if err := <-pr.nestedErr; err != nil {
+		t.Fatalf("nested invoke: %v", err)
+	}
+	pre, done, _ := peek(t, s.ks[1], front)
+	if pre != 1 || done != 1 {
+		t.Errorf("state after resume = (pre=%d done=%d), want (1, 1)", pre, done)
+	}
+	// Crashing now rewinds to the mid-window checkpoint: pre survives,
+	// the post-resume mutation does not.
+	obj.Crash()
+	pre, done, _ = peek(t, s.ks[1], front)
+	if pre != 1 || done != 0 {
+		t.Errorf("state after rewind = (pre=%d done=%d), want (1, 0)", pre, done)
+	}
+}
+
+func TestPassivateDuringYieldedNestedInvoke(t *testing.T) {
+	pr := newPipelineRig()
+	s := newSys(t, 1)
+	mustRegister(t, s.reg, pr.gateType(), pr.frontType())
+	gate, err := s.ks[1].Create("gate", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := s.ks[1].Create("front", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relayDone := pr.startRelay(t, s.ks[1], front, gate, "relay")
+
+	obj, err := s.ks[1].Object(front.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Passivate(); err != nil {
+		t.Fatalf("passivate during released window: %v", err)
+	}
+	close(pr.release)
+
+	// The incarnation the writer belonged to is gone; re-acquisition
+	// fails even though a fresh activation can serve new calls.
+	if err := <-pr.nestedErr; !errors.Is(err, ErrCrashed) {
+		t.Fatalf("nested invoke after passivate: err = %v, want ErrCrashed", err)
+	}
+	if err := <-relayDone; !errors.Is(err, ErrCrashed) {
+		t.Fatalf("relay after passivate: err = %v, want ErrCrashed", err)
+	}
+	// Reactivation restores the passivation checkpoint: the pre-yield
+	// mutation survives, the aborted post-resume one does not.
+	pre, done, _ := peek(t, s.ks[1], front)
+	if pre != 1 || done != 0 {
+		t.Errorf("state after reactivation = (pre=%d done=%d), want (1, 0)", pre, done)
+	}
+}
+
+// ---- Commutes declaration validation ----
+
+func TestCommutesRequiresAccessWrite(t *testing.T) {
+	nop := func(c *Call) {}
+	defer func() {
+		if recover() == nil {
+			t.Error("Op accepted Commutes without AccessWrite")
+		}
+	}()
+	NewType("bad").Op(Operation{Name: "oops", Access: AccessRead, Commutes: true, Handler: nop})
+}
+
+func TestRegisterRejectsCommutesWithoutWrite(t *testing.T) {
+	// A hand-built Operations map bypasses Op's validation; Register
+	// must apply the same rule.
+	tm := NewType("handmade")
+	tm.Operations["oops"] = &Operation{Name: "oops", Class: DefaultClass, Commutes: true, Handler: func(c *Call) {}}
+	if err := NewRegistry().Register(tm); err == nil {
+		t.Error("Register accepted Commutes without AccessWrite")
+	}
+	good := NewType("fine")
+	good.Operations["add"] = &Operation{Name: "add", Class: DefaultClass, Access: AccessWrite, Commutes: true, Handler: func(c *Call) {}}
+	if err := NewRegistry().Register(good); err != nil {
+		t.Errorf("Register rejected a legal Commutes writer: %v", err)
+	}
+}

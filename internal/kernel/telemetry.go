@@ -37,6 +37,14 @@ type kernelTel struct {
 	queueFull      *telemetry.Counter // calls shed because a per-object queue hit its cap
 	serveConc      *telemetry.Gauge   // invocation processes currently executing
 
+	asyncShed      *telemetry.Counter   // async submissions shed (table full or expired queued)
+	asyncPending   *telemetry.Gauge     // async invocations in the table (queued + executing)
+	asyncQueueWait *telemetry.Histogram // table wait before a worker picks the entry up
+	asyncPortFull  *telemetry.Counter   // port completions that found the port full
+
+	writerYield  *telemetry.Counter // writers that released exclusivity across a nested invoke
+	writeBatched *telemetry.Counter // commuting writers co-admitted into an open batch
+
 	replicaHit        *telemetry.Counter   // reads served from a checkpoint shadow
 	replicaMiss       *telemetry.Counter   // stale-tolerant reads this checksite could not serve
 	replicaStale      *telemetry.Counter   // refusals because the record sat below the invalidation floor
@@ -63,6 +71,13 @@ const (
 	metricAdmissionDepth  = "kernel.admission.queue.depth"
 	metricQueueFull       = "kernel.admission.queue.full"
 	metricServeConc       = "kernel.serve.concurrency"
+
+	metricAsyncShed     = "kernel.async.shed"
+	metricAsyncPending  = "kernel.async.pending"
+	metricAsyncWait     = "kernel.async.queue.wait"
+	metricAsyncPortFull = "kernel.async.port.full"
+	metricWriterYield   = "kernel.write.yield"
+	metricWriteBatched  = "kernel.write.batched"
 
 	metricReplicaHit        = "kernel.replica.hit"
 	metricReplicaMiss       = "kernel.replica.miss"
@@ -93,6 +108,13 @@ func newKernelTel(reg *telemetry.Registry) kernelTel {
 		admissionDepth: reg.Gauge(metricAdmissionDepth),
 		queueFull:      reg.Counter(metricQueueFull),
 		serveConc:      reg.Gauge(metricServeConc),
+
+		asyncShed:      reg.Counter(metricAsyncShed),
+		asyncPending:   reg.Gauge(metricAsyncPending),
+		asyncQueueWait: reg.Histogram(metricAsyncWait),
+		asyncPortFull:  reg.Counter(metricAsyncPortFull),
+		writerYield:    reg.Counter(metricWriterYield),
+		writeBatched:   reg.Counter(metricWriteBatched),
 
 		replicaHit:        reg.Counter(metricReplicaHit),
 		replicaMiss:       reg.Counter(metricReplicaMiss),

@@ -134,6 +134,12 @@ type NodeConfig struct {
 	// queues; excess calls are shed with a timeout (0 = kernel
 	// default).
 	AdmissionQueue int
+	// AsyncPending caps the node's async-invocation dispatcher table;
+	// excess submissions are shed with a timeout (0 = kernel default).
+	AsyncPending int
+	// AsyncWorkers sizes the async dispatcher's worker pool (0 =
+	// kernel default).
+	AsyncWorkers int
 }
 
 // AddNode creates a node, assigns it the next node number, and boots
@@ -194,6 +200,8 @@ func (s *System) boot(n *Node) error {
 	cfg.ReaderPool = n.nc.ReaderPool
 	cfg.ReplicaServe = n.nc.Replicas
 	cfg.AdmissionQueue = n.nc.AdmissionQueue
+	cfg.AsyncPending = n.nc.AsyncPending
+	cfg.AsyncWorkers = n.nc.AsyncWorkers
 	cfg.Telemetry = n.tel
 	if s.cfg.DefaultTimeout > 0 {
 		cfg.DefaultTimeout = s.cfg.DefaultTimeout
@@ -360,9 +368,18 @@ func (n *Node) Invoke(target Capability, operation string, data []byte, caps Cap
 	return n.Kernel().Invoke(target, operation, data, caps, opts)
 }
 
-// InvokeAsync starts an invocation without suspending the caller.
+// InvokeAsync starts an invocation without suspending the caller; it
+// runs through the node's bounded async dispatcher and the returned
+// Pending resolves with the outcome (sticky, so Wait may be repeated).
 func (n *Node) InvokeAsync(target Capability, operation string, data []byte, caps CapabilityList, opts *InvokeOptions) *Pending {
 	return n.Kernel().InvokeAsync(target, operation, data, caps, opts)
+}
+
+// InvokeAsyncPort starts an invocation whose completion is delivered
+// to the given message port as an encoded AsyncCompletion carrying
+// the returned id (decode with DecodeAsyncCompletion).
+func (n *Node) InvokeAsyncPort(target Capability, operation string, data []byte, caps CapabilityList, port *Port, opts *InvokeOptions) (uint64, error) {
+	return n.Kernel().InvokeAsyncPort(target, operation, data, caps, port, opts)
 }
 
 // Object returns the kernel handle of the object a capability
